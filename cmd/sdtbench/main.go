@@ -1,0 +1,138 @@
+// Command sdtbench regenerates the paper's tables and figures
+// (EXPERIMENTS.md records the outputs).
+//
+// Usage:
+//
+//	sdtbench -exp all
+//	sdtbench -exp fig11
+//	sdtbench -exp table4 -ranks 16
+//	sdtbench -exp fig13 -bytes 524288 -reps 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig11|fig12|table2|table3|table4|fig13|isolation|active|tables|all")
+	ranks := flag.Int("ranks", 16, "MPI ranks for table4")
+	reps := flag.Int("reps", 8, "repetitions (fig11 pingpongs / fig13 alltoall rounds)")
+	bytes := flag.Int("bytes", 256*1024, "message bytes for fig13 / active routing")
+	zoo := flag.Int("zoo", 0, "zoo subset size for table2 (0 = all 261)")
+	durMs := flag.Int("dur", 1000, "fig12 window in simulated ms")
+	flag.Parse()
+	w := os.Stdout
+
+	run := map[string]func() error{
+		"table1": func() error {
+			experiments.Table1().Format(w)
+			return nil
+		},
+		"fig11": func() error {
+			r, err := experiments.Fig11(*reps * 5)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"fig12": func() error {
+			dur := netsim.Time(*durMs) * netsim.Millisecond
+			for _, pfc := range []bool{true, false} {
+				for _, mode := range []core.Mode{core.SDT, core.FullTestbed} {
+					r, err := experiments.Fig12(mode, pfc, dur)
+					if err != nil {
+						return err
+					}
+					r.Format(w)
+				}
+			}
+			return nil
+		},
+		"table2": func() error {
+			r, err := experiments.Table2(*zoo)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"table3": func() error {
+			r, err := experiments.Table3()
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"table4": func() error {
+			r, err := experiments.Table4(*ranks, nil)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"fig13": func() error {
+			r, err := experiments.Fig13(nil, *bytes, *reps)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"isolation": func() error {
+			r, err := experiments.Isolation()
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"active": func() error {
+			r, err := experiments.ActiveRouting(8, *bytes)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+		"tables": func() error {
+			r, err := experiments.FlowTableUsage()
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		},
+	}
+
+	order := []string{"table1", "fig11", "fig12", "table2", "table3", "table4", "fig13", "isolation", "active", "tables"}
+	if *exp == "all" {
+		for _, name := range order {
+			if err := run[name](); err != nil {
+				fatal(name, err)
+			}
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		fatal(*exp, err)
+	}
+}
+
+func fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "sdtbench: %s: %v\n", name, err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Facade test: exercises the library strictly through the public API
+// in the root package, as a downstream user would.
+package sdt_test
+
+import (
+	"testing"
+
+	sdt "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ft := sdt.FatTree(4)
+	torus := sdt.Torus2D(4, 4, 1)
+	tb, err := sdt.PaperTestbed([]*sdt.Topology{ft, torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a small alltoall in every mode.
+	tr := sdt.AlltoallTrace(4, 16<<10, 2)
+	for _, mode := range []sdt.Mode{sdt.ModeFullTestbed, sdt.ModeSDT, sdt.ModeSimulator} {
+		res, err := tb.RunTrace(ft, tr, ft.Hosts()[:4], mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.ACT <= 0 {
+			t.Fatalf("%v: ACT %v", mode, res.ACT)
+		}
+	}
+	// Reconfigure via the controller.
+	if _, err := tb.Ctl.Reconfigure(ft.Name, torus, sdt.ControllerOptions{RequireDeadlockFree: true}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Ctl.Deployment(torus.Name) == nil {
+		t.Fatal("torus not deployed after reconfigure")
+	}
+}
+
+func TestFacadeStrategyAndDeadlock(t *testing.T) {
+	g := sdt.Dragonfly(4, 9, 2, 1)
+	strat := sdt.StrategyFor(g)
+	routes, err := strat.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sdt.VerifyDeadlockFree(routes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeProjection(t *testing.T) {
+	g := sdt.Line(6, 1)
+	cab, err := sdt.PlanCabling([]sdt.PhysicalSwitch{sdt.H3CS6861("sw")}, []*sdt.Topology{g}, sdt.PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sdt.Project(g, cab, sdt.PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats().SelfLinks != 5 {
+		t.Errorf("self links = %d, want 5", plan.Stats().SelfLinks)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, name := range []string{"HPCG", "HPL", "miniGhost", "miniFE", "IMB"} {
+		tr, err := sdt.WorkloadByName(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if sdt.PingpongTrace(64, 3).Ranks != 2 {
+		t.Error("pingpong ranks")
+	}
+}
+
+func TestFacadeZooAndConfig(t *testing.T) {
+	zoo := sdt.TopologyZoo(1)
+	if len(zoo) != 261 {
+		t.Fatalf("zoo = %d", len(zoo))
+	}
+	cfg := sdt.TopologyConfig{Name: "t", Generator: "torus2d", Params: []int{3, 3, 1}}
+	g, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSwitches() != 9 {
+		t.Errorf("switches = %d", g.NumSwitches())
+	}
+}

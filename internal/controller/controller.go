@@ -1,0 +1,227 @@
+// Package controller implements the SDT controller of §V — the Ryu
+// replacement — with its four modules:
+//
+//   - Topology Customization: checks user-defined topologies against
+//     the testbed's cabling (§V-1's checking function) and runs the TP
+//     process automatically (deployment function).
+//   - Routing Strategy: computes flow tables per Table III or a
+//     user-supplied strategy.
+//   - Deadlock Avoidance: verifies lossless route sets against channel
+//     dependency cycles before deployment.
+//   - Network Monitor: collects per-port statistics and feeds adaptive
+//     (active) routing.
+//
+// The controller drives reconfiguration entirely through flow-table
+// updates: deploying a new topology config never touches a cable.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/openflow"
+	"repro/internal/partition"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Controller manages one SDT testbed: a fixed cabling over physical
+// OpenFlow switches plus the currently deployed logical topologies.
+type Controller struct {
+	Cabling  *projection.Cabling
+	Physical []*openflow.Switch
+
+	alloc       *projection.Allocation
+	deployments map[string]*Deployment
+	nextCookie  uint64
+	nextTagBase int
+	partOpts    partition.Options
+}
+
+// Deployment is one live logical topology on the testbed.
+type Deployment struct {
+	Name    string
+	Topo    *topology.Graph
+	Plan    *projection.Plan
+	Routes  *routing.Routes
+	Cookie  uint64
+	TagBase int
+	Entries int
+	// DeployTime is the modelled reconfiguration time (controller
+	// planning + flow-mod installation), per the cost model.
+	DeployTime time.Duration
+}
+
+// New builds a controller over a planned cabling.
+func New(cab *projection.Cabling) *Controller {
+	c := &Controller{
+		Cabling:     cab,
+		alloc:       projection.NewAllocation(cab),
+		deployments: map[string]*Deployment{},
+	}
+	for _, spec := range cab.Switches {
+		c.Physical = append(c.Physical, openflow.NewSwitch(spec.ID, spec.Ports, spec.TableCap))
+	}
+	return c
+}
+
+// NewFromTopologies plans a cabling able to host every given topology
+// (the §IV-B pre-planning workflow) and returns a controller over it.
+func NewFromTopologies(switches []projection.PhysicalSwitch, topos []*topology.Graph) (*Controller, error) {
+	cab, err := projection.PlanCabling(switches, topos, partition.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return New(cab), nil
+}
+
+// Options tunes one deployment.
+type Options struct {
+	// Strategy overrides Table III auto-selection.
+	Strategy routing.Strategy
+	// RequireDeadlockFree rejects route sets whose channel dependency
+	// graph is cyclic (mandatory for lossless/PFC operation).
+	RequireDeadlockFree bool
+	// Encoding selects the flow-table encoding (default TagEncoded).
+	Encoding projection.Encoding
+}
+
+// Check is the Topology Customization module's checking function: it
+// validates the topology and verifies it fits the testbed, returning a
+// descriptive error naming the necessary modification otherwise.
+func (c *Controller) Check(g *topology.Graph) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("controller: topology rejected: %w", err)
+	}
+	probe := projection.NewAllocation(c.Cabling)
+	// Copy current usage so the check reflects co-hosted topologies.
+	for name := range c.deployments {
+		d := c.deployments[name]
+		if _, err := projection.ProjectInto(d.Topo, c.Cabling, probe, c.partOpts); err != nil {
+			// Should not happen (it deployed before), but stay honest.
+			return fmt.Errorf("controller: internal allocation drift: %v", err)
+		}
+	}
+	if _, err := projection.ProjectInto(g, c.Cabling, probe, c.partOpts); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Deploy projects and installs a topology, returning the deployment
+// record with its modelled reconfiguration time.
+func (c *Controller) Deploy(g *topology.Graph, opt Options) (*Deployment, error) {
+	if _, dup := c.deployments[g.Name]; dup {
+		return nil, fmt.Errorf("controller: topology %q already deployed", g.Name)
+	}
+	plan, err := projection.ProjectInto(g, c.Cabling, c.alloc, c.partOpts)
+	if err != nil {
+		return nil, err
+	}
+	strat := opt.Strategy
+	if strat == nil {
+		strat = routing.ForTopology(g)
+	}
+	routes, err := strat.Compute(g)
+	if err != nil {
+		plan.Release(c.alloc)
+		return nil, err
+	}
+	if opt.RequireDeadlockFree {
+		if err := routing.VerifyDeadlockFree(routes); err != nil {
+			plan.Release(c.alloc)
+			return nil, err
+		}
+	}
+	cookie := c.nextCookie + 1
+	tagBase := c.nextTagBase
+	switches, err := projection.CompileFlowTables(plan, routes, projection.CompileOptions{
+		Encoding: opt.Encoding,
+		Cookie:   cookie,
+		TagBase:  tagBase,
+		Into:     c.Physical,
+	})
+	if err != nil {
+		plan.Release(c.alloc)
+		// Roll back any partially installed entries.
+		for _, sw := range c.Physical {
+			sw.Table.RemoveCookie(cookie)
+		}
+		return nil, err
+	}
+	c.nextCookie = cookie
+	c.nextTagBase = tagBase + projection.TagSpace(plan, routes)
+	entries := 0
+	for _, sw := range switches {
+		for _, e := range sw.Table.Entries() {
+			if e.Cookie == cookie {
+				entries++
+			}
+		}
+	}
+	req := projection.Requirement{Method: projection.MethodSDT}
+	d := &Deployment{
+		Name: g.Name, Topo: g, Plan: plan, Routes: routes,
+		Cookie: cookie, TagBase: tagBase, Entries: entries,
+		DeployTime: costmodel.ReconfigTime(req, entries),
+	}
+	c.deployments[g.Name] = d
+	return d, nil
+}
+
+// Teardown removes a deployed topology: its flow entries (by cookie)
+// and its physical link allocation.
+func (c *Controller) Teardown(name string) error {
+	d, ok := c.deployments[name]
+	if !ok {
+		return fmt.Errorf("controller: topology %q not deployed", name)
+	}
+	for _, sw := range c.Physical {
+		sw.Table.RemoveCookie(d.Cookie)
+	}
+	d.Plan.Release(c.alloc)
+	delete(c.deployments, name)
+	return nil
+}
+
+// Reconfigure atomically replaces one deployed topology with another —
+// the headline operation of the paper ("the topology (re)configuration
+// can be finished in a short time", §I). The returned deployment's
+// DeployTime is the modelled reconfiguration latency.
+func (c *Controller) Reconfigure(old string, g *topology.Graph, opt Options) (*Deployment, error) {
+	if err := c.Teardown(old); err != nil {
+		return nil, err
+	}
+	return c.Deploy(g, opt)
+}
+
+// Deployments lists live deployments sorted by name.
+func (c *Controller) Deployments() []*Deployment {
+	names := make([]string, 0, len(c.deployments))
+	for n := range c.deployments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Deployment, 0, len(names))
+	for _, n := range names {
+		out = append(out, c.deployments[n])
+	}
+	return out
+}
+
+// Deployment returns a live deployment by topology name.
+func (c *Controller) Deployment(name string) *Deployment {
+	return c.deployments[name]
+}
+
+// EntryCount reports the total installed flow entries on the cluster.
+func (c *Controller) EntryCount() int {
+	n := 0
+	for _, sw := range c.Physical {
+		n += sw.Table.Len()
+	}
+	return n
+}

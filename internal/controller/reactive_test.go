@@ -1,0 +1,84 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestReactiveFirstPacketPaysSetup(t *testing.T) {
+	g := topology.Line(4, 1)
+	routes, err := routing.ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewReactive(routes, netsim.Millisecond)
+	net, err := netsim.NewNetwork(g, re, netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	rtts := netsim.MeasurePingpong(net, hosts[0], hosts[3], 64, 10)
+	if len(rtts) != 10 {
+		t.Fatalf("rtts = %d", len(rtts))
+	}
+	// First round trip crosses 4+4 switches, each paying 1 ms setup in
+	// each direction once; subsequent RTTs are line rate.
+	if rtts[0] < 8*netsim.Millisecond {
+		t.Errorf("first RTT %v does not include flow setup", rtts[0])
+	}
+	for i := 1; i < 10; i++ {
+		if rtts[i] > netsim.Millisecond {
+			t.Errorf("RTT %d = %v; entries should be installed", i, rtts[i])
+		}
+	}
+	if re.Installs == 0 || re.Installs != re.Misses {
+		t.Errorf("installs = %d, misses = %d", re.Installs, re.Misses)
+	}
+	// Exactly one entry per (switch, dst) pair in each direction: 4
+	// switches x 2 destinations touched.
+	if re.Installs != 8 {
+		t.Errorf("installs = %d, want 8", re.Installs)
+	}
+}
+
+func TestReactiveResetReinstalls(t *testing.T) {
+	g := topology.Line(3, 1)
+	routes, err := routing.ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewReactive(routes, 0) // default latency
+	net, err := netsim.NewNetwork(g, re, netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	netsim.MeasurePingpong(net, hosts[0], hosts[2], 64, 2)
+	before := re.Installs
+	re.Reset()
+	netsim.MeasurePingpong(net, hosts[0], hosts[2], 64, 2)
+	if re.Installs != 2*before {
+		t.Errorf("installs after reset = %d, want %d", re.Installs, 2*before)
+	}
+}
+
+func TestReactiveTableMissStillDrops(t *testing.T) {
+	g := topology.Line(2, 1)
+	routes, err := routing.ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewReactive(routes, 0)
+	net, err := netsim.NewNetwork(g, re, netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Host(g.Hosts()[0]).Send(99999, 1, 100)
+	net.Sim.Run(0)
+	if net.TotalDrops == 0 {
+		t.Error("unknown destination not dropped under reactive mode")
+	}
+}

@@ -1,0 +1,189 @@
+// Package core orchestrates complete SDT experiments: it couples the
+// controller-managed projection pipeline with the packet-level engine
+// so the same workload can be evaluated the three ways the paper
+// compares (§VI): on a full testbed, on SDT, and on a (slow) software
+// simulator.
+//
+//   - FullTestbed: the logical topology simulated with one crossbar per
+//     logical switch — the reference the paper measures SDT against.
+//   - SDT: the logical topology projected onto physical switches; the
+//     sub-switches share their host's crossbar and pay the projected
+//     pipeline overhead; evaluation time additionally includes the
+//     controller's deployment time.
+//   - Simulator: identical network model, but the *evaluation time* is
+//     the real wall-clock the event-driven engine burns — the quantity
+//     Fig. 13 shows exploding with scale.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/netsim"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Mode selects the evaluation platform.
+type Mode int
+
+const (
+	// FullTestbed is the physically cabled reference.
+	FullTestbed Mode = iota
+	// SDT is the projected testbed.
+	SDT
+	// Simulator is the software-simulation baseline.
+	Simulator
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case FullTestbed:
+		return "Full Testbed"
+	case SDT:
+		return "SDT"
+	default:
+		return "Simulator"
+	}
+}
+
+// Testbed is an SDT deployment ready to run experiments.
+type Testbed struct {
+	Switches []projection.PhysicalSwitch
+	Ctl      *controller.Controller
+	Cfg      netsim.Config
+}
+
+// NewTestbed plans cabling for the given topologies over the switches
+// and returns a testbed (the paper's default is three H3C S6861s).
+func NewTestbed(switches []projection.PhysicalSwitch, topos []*topology.Graph) (*Testbed, error) {
+	ctl, err := controller.NewFromTopologies(switches, topos)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbed{Switches: switches, Ctl: ctl, Cfg: netsim.DefaultConfig()}, nil
+}
+
+// PaperTestbed builds the paper's cluster: 3 H3C S6861 switches.
+func PaperTestbed(topos []*topology.Graph) (*Testbed, error) {
+	return NewTestbed([]projection.PhysicalSwitch{
+		projection.H3CS6861("s6861-a"),
+		projection.H3CS6861("s6861-b"),
+		projection.H3CS6861("s6861-c"),
+	}, topos)
+}
+
+// RunResult reports one workload execution.
+type RunResult struct {
+	Mode Mode
+	// ACT is the application completion time in simulated (i.e.
+	// physical) time.
+	ACT netsim.Time
+	// Wall is the wall-clock time the engine burned.
+	Wall time.Duration
+	// Deploy is the modelled topology deployment time (SDT only).
+	Deploy time.Duration
+	// Eval is the full evaluation time on this platform: ACT for the
+	// full testbed, deploy+ACT for SDT, Wall for the simulator.
+	Eval time.Duration
+	// Fabric health counters.
+	Drops, Pauses, EcnMarks int64
+	Events                  int64
+}
+
+// Network builds the netsim fabric for a topology in the given mode,
+// returning the network plus the SDT deployment when applicable. The
+// caller drives traffic and runs the simulation.
+func (tb *Testbed) Network(g *topology.Graph, strat routing.Strategy, mode Mode) (*netsim.Network, *controller.Deployment, error) {
+	if strat == nil {
+		strat = routing.ForTopology(g)
+	}
+	routes, err := strat.Compute(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	var crossbarOf func(int) int
+	var dep *controller.Deployment
+	sdtExtra := false
+	if mode == SDT {
+		if dep = tb.Ctl.Deployment(g.Name); dep == nil {
+			dep, err = tb.Ctl.Deploy(g, controller.Options{Strategy: strat})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		plan := dep.Plan
+		crossbarOf = plan.CrossbarOf
+		sdtExtra = true
+		routes = dep.Routes
+	}
+	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, tb.Cfg, crossbarOf, sdtExtra)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, dep, nil
+}
+
+// RunTrace executes a workload trace on topology g in the given mode.
+// The trace's ranks are placed on the first len hosts (or the given
+// subset), mirroring the paper's "randomly select the nodes but keep
+// the same among all the evaluations".
+func (tb *Testbed) RunTrace(g *topology.Graph, tr *workload.Trace, hosts []int, mode Mode) (*RunResult, error) {
+	if hosts == nil {
+		all := g.Hosts()
+		if len(all) < tr.Ranks {
+			return nil, fmt.Errorf("core: topology %q has %d hosts, trace needs %d", g.Name, len(all), tr.Ranks)
+		}
+		hosts = pickSpread(all, tr.Ranks)
+	}
+	net, dep, err := tb.Network(g, nil, mode)
+	if err != nil {
+		return nil, err
+	}
+	app := netsim.NewApp(net, hosts, tr.Programs, nil)
+	wallStart := time.Now()
+	app.Start()
+	net.Sim.Run(0)
+	wall := time.Since(wallStart)
+	act := app.ACT()
+	if act < 0 {
+		return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d",
+			tr.Name, g.Name, mode, net.TotalDrops)
+	}
+	res := &RunResult{
+		Mode: mode, ACT: act, Wall: wall,
+		Drops: net.TotalDrops, Pauses: net.PausesSent, EcnMarks: net.EcnMarks,
+		Events: net.Sim.Events(),
+	}
+	switch mode {
+	case FullTestbed:
+		res.Eval = time.Duration(int64(act) / 1000) // ps -> ns
+	case SDT:
+		if dep != nil {
+			res.Deploy = dep.DeployTime
+		}
+		res.Eval = time.Duration(int64(act)/1000) + res.Deploy
+	case Simulator:
+		res.Eval = wall
+	}
+	return res, nil
+}
+
+// pickSpread deterministically selects n hosts spread across the list
+// ("randomly select the nodes but keep the same among all the
+// evaluations", §VI-D).
+func pickSpread(all []int, n int) []int {
+	if n >= len(all) {
+		return all[:n]
+	}
+	out := make([]int, 0, n)
+	step := float64(len(all)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, all[int(float64(i)*step)])
+	}
+	return out
+}

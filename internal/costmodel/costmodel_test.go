@@ -1,0 +1,71 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/projection"
+)
+
+func TestHardwareCostOrdering(t *testing.T) {
+	// For the same switch count, SP-OS must cost far more than SDT
+	// (optical switch), and TurboNet more than SDT (P4 silicon).
+	sdt := projection.Requirement{Method: projection.MethodSDT, Switches: 3}
+	sp := projection.Requirement{Method: projection.MethodSP, Switches: 3, ManualCables: 48}
+	spos := projection.Requirement{Method: projection.MethodSPOS, Switches: 3, OpticalPorts: 3 * 64}
+	tn := projection.Requirement{Method: projection.MethodTurboNet, Switches: 3}
+
+	cSDT, cSP, cSPOS, cTN := HardwareCost(sdt), HardwareCost(sp), HardwareCost(spos), HardwareCost(tn)
+	if cSDT != cSP {
+		t.Errorf("SDT %0.f != SP %0.f: same switches, same price", cSDT, cSP)
+	}
+	if cSPOS <= 2*cSDT {
+		t.Errorf("SP-OS cost %.0f not dominated by optics (SDT %.0f)", cSPOS, cSDT)
+	}
+	if cTN <= cSDT {
+		t.Errorf("TurboNet %.0f should exceed SDT %.0f", cTN, cSDT)
+	}
+}
+
+func TestReconfigTimeOrdering(t *testing.T) {
+	// Table II ordering: SDT fastest (or comparable to SP-OS), SP-OS
+	// adds optics, TurboNet recompiles for minutes, SP is manual labour.
+	entries := 300
+	sdt := ReconfigTime(projection.Requirement{Method: projection.MethodSDT}, entries)
+	spos := ReconfigTime(projection.Requirement{Method: projection.MethodSPOS}, entries)
+	tn := ReconfigTime(projection.Requirement{Method: projection.MethodTurboNet}, entries)
+	sp := ReconfigTime(projection.Requirement{Method: projection.MethodSP, ManualCables: 48}, entries)
+
+	if !(sdt < spos && spos < tn && tn < sp) {
+		t.Errorf("ordering violated: SDT=%v SP-OS=%v TurboNet=%v SP=%v", sdt, spos, tn, sp)
+	}
+	if sdt > 2*time.Second {
+		t.Errorf("SDT reconfig = %v, should be subsecond-ish", sdt)
+	}
+	if sp < 30*time.Minute {
+		t.Errorf("SP manual reconfig = %v, should be tens of minutes", sp)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4", len(rows))
+	}
+	byTool := map[string]ToolRow{}
+	for _, r := range rows {
+		byTool[r.Tool] = r
+	}
+	sdt := byTool["SDT"]
+	if sdt.Price != Medium || sdt.Manpower != Low || sdt.Reconfig != "Easy" ||
+		sdt.Scalability != High || sdt.Efficiency != High {
+		t.Errorf("SDT row diverges from the paper: %+v", sdt)
+	}
+	tb := byTool["Testbed"]
+	if tb.Price != High || tb.Reconfig != "Hard" {
+		t.Errorf("Testbed row diverges: %+v", tb)
+	}
+	if Low.String() != "Low" || Medium.String() != "Medium" || High.String() != "High" {
+		t.Error("Rating strings")
+	}
+}

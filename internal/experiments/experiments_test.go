@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+func TestFig11ShapeMatchesPaper(t *testing.T) {
+	res, err := Fig11(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig11MsgLens()) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Overhead < 0 {
+			t.Errorf("msglen %d: negative overhead %v", p.Bytes, p.Overhead)
+		}
+	}
+	// Headline: overhead always below 2% (paper: 0.03–2%, <=1.6% measured).
+	if res.MaxOverhead >= 0.02 {
+		t.Errorf("max overhead %.4f >= 2%%", res.MaxOverhead)
+	}
+	// Overhead at 1MB must be well below overhead at small sizes.
+	first, last := res.Points[1], res.Points[len(res.Points)-1]
+	if last.Overhead >= first.Overhead {
+		t.Errorf("overhead did not shrink with size: %v -> %v", first.Overhead, last.Overhead)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "1MB") {
+		t.Error("format missing 1MB row")
+	}
+}
+
+func TestFig12PFCOnFairnessByHops(t *testing.T) {
+	res, err := Fig12(core.FullTestbed, true, 400*netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 7 {
+		t.Fatalf("flows = %d, want 7", len(res.Flows))
+	}
+	if res.Drops != 0 {
+		t.Errorf("PFC on but %d drops", res.Drops)
+	}
+	// Aggregate should approach the 10G bottleneck.
+	if res.AggregateGbps < 6 || res.AggregateGbps > 10.5 {
+		t.Errorf("aggregate = %.2f Gbps", res.AggregateGbps)
+	}
+	// Every flow gets a share.
+	for _, f := range res.Flows {
+		if f.MeanGbps <= 0.05 {
+			t.Errorf("n%d starved: %.3f Gbps", f.Node, f.MeanGbps)
+		}
+	}
+	// Hop labels must match the paper's legend (n1 h:5 ... n8 h:6).
+	wantHops := map[int]int{1: 5, 2: 4, 3: 3, 5: 3, 6: 4, 7: 5, 8: 6}
+	for _, f := range res.Flows {
+		if f.Hops != wantHops[f.Node] {
+			t.Errorf("n%d hops = %d, want %d", f.Node, f.Hops, wantHops[f.Node])
+		}
+	}
+}
+
+func TestFig12SDTMatchesFullTestbed(t *testing.T) {
+	full, err := Fig12(core.FullTestbed, true, 300*netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdt, err := Fig12(core.SDT, true, 300*netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "the bandwidth allocation for each iperf3 flow aligns with
+	// the full testbed". Require each flow within 15% relative.
+	for i := range full.Flows {
+		f, s := full.Flows[i], sdt.Flows[i]
+		if f.MeanGbps <= 0 {
+			continue
+		}
+		rel := (s.MeanGbps - f.MeanGbps) / f.MeanGbps
+		if rel > 0.15 || rel < -0.15 {
+			t.Errorf("n%d: SDT %.3f vs full %.3f Gbps (%.1f%%)", f.Node, s.MeanGbps, f.MeanGbps, rel*100)
+		}
+	}
+}
+
+func TestFig12PFCOffHasDrops(t *testing.T) {
+	res, err := Fig12(core.FullTestbed, false, 300*netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Error("PFC off incast produced no drops")
+	}
+	if res.AggregateGbps < 4 {
+		t.Errorf("TCP collapsed: %.2f Gbps aggregate", res.AggregateGbps)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Table2Row{}
+	for _, row := range res.Rows {
+		byMethod[row.Method.String()] = row
+	}
+	sdt := byMethod["SDT"]
+	spos := byMethod["SP-OS"]
+	tn := byMethod["TurboNet(PM)"]
+	if sdt.ZooCoverage < tn.ZooCoverage || sdt.ZooCoverage == 0 {
+		t.Errorf("zoo coverage: SDT %d vs TurboNet %d", sdt.ZooCoverage, tn.ZooCoverage)
+	}
+	if spos.HardwareUSD <= sdt.HardwareUSD {
+		t.Errorf("SP-OS cost %.0f <= SDT %.0f", spos.HardwareUSD, sdt.HardwareUSD)
+	}
+	if tn.BandwidthFactor != 0.5 || sdt.BandwidthFactor != 1 {
+		t.Errorf("bandwidth factors: SDT %.2f, TurboNet %.2f", sdt.BandwidthFactor, tn.BandwidthFactor)
+	}
+	if sdt.Reconfig >= byMethod["SP"].Reconfig {
+		t.Error("SDT reconfig not faster than manual SP")
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "SDT") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestTable3AllDeadlockFree(t *testing.T) {
+	res, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.DeadlockFree {
+			t.Errorf("%s (%s): channel dependency cycle", row.Topology, row.Strategy)
+		}
+		if row.Rules == 0 {
+			t.Errorf("%s: no rules", row.Topology)
+		}
+	}
+}
+
+func TestTable4SmallScale(t *testing.T) {
+	res, err := Table4(8, []string{"HPCG", "IMB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 8 { // 2 apps x 4 topologies
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Paper: ACT deviation <= 3%.
+	if res.MaxDeviation > 0.03 {
+		t.Errorf("max ACT deviation %.4f > 3%%", res.MaxDeviation)
+	}
+	for _, c := range res.Cells {
+		if c.ACTSDT <= 0 || c.ACTSim <= 0 {
+			t.Errorf("%s/%s: non-positive ACT", c.App, c.Topology)
+		}
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "HPCG") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13([]int{2, 8, 16}, 64*1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// The simulator is always slower than the emulated real time,
+		// and SDT always pays at least the full-testbed time.
+		if p.SimFactor <= 1 {
+			t.Errorf("nodes=%d: simulator factor %.2f <= 1", p.Nodes, p.SimFactor)
+		}
+		if p.SDTFactor < 1 {
+			t.Errorf("nodes=%d: SDT factor %.2f < 1 (deploy time must add)", p.Nodes, p.SDTFactor)
+		}
+	}
+	// Paper shape: the simulator slowdown grows with node count while
+	// the SDT factor amortises toward 1 as the ACT grows.
+	if res.Points[2].SimFactor <= res.Points[0].SimFactor {
+		t.Errorf("simulator slowdown did not grow with nodes: %v", res.Points)
+	}
+	if res.Points[2].SDTFactor >= res.Points[0].SDTFactor {
+		t.Errorf("SDT factor did not amortise: %v", res.Points)
+	}
+}
+
+func TestIsolation(t *testing.T) {
+	res, err := Isolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IntraADelivered || !res.IntraBDelivered {
+		t.Error("intra-tenant traffic lost")
+	}
+	if res.CrossDelivered {
+		t.Error("cross-tenant packet delivered: isolation violated")
+	}
+}
+
+func TestActiveRoutingReducesACT(t *testing.T) {
+	res, err := ActiveRouting(8, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduction <= 0 {
+		t.Errorf("active routing did not reduce ACT: minimal %v, active %v",
+			res.ACTMinimal, res.ACTActive)
+	}
+}
+
+func TestFlowTableUsage(t *testing.T) {
+	res, err := FlowTableUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 2 {
+		t.Fatalf("switches = %d, want 2", res.Switches)
+	}
+	for i := 0; i < res.Switches; i++ {
+		if res.MergedPerSwitch[i] < 150 || res.MergedPerSwitch[i] > 450 {
+			t.Errorf("switch %d merged entries = %d, want ~300 (§VII-C)", i, res.MergedPerSwitch[i])
+		}
+		if res.NaivePerSwitch[i] <= res.MergedPerSwitch[i] {
+			t.Errorf("switch %d: naive %d <= merged %d", i, res.NaivePerSwitch[i], res.MergedPerSwitch[i])
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := Table1()
+	var buf bytes.Buffer
+	res.Format(&buf)
+	for _, want := range []string{"Simulator", "Emulator", "Testbed", "SDT"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table I missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/netsim"
+	"repro/internal/routing"
+)
+
+// Fig11Point is one message length of the latency-overhead sweep.
+type Fig11Point struct {
+	Bytes    int
+	FullRTT  netsim.Time
+	SDTRTT   netsim.Time
+	Overhead float64 // (sdt-full)/full
+}
+
+// Fig11Result reproduces Fig. 11: additional overhead by SDT on the
+// 8-switch-chain latency across IMB Pingpong message lengths.
+type Fig11Result struct {
+	Points []Fig11Point
+	// MaxOverhead is the headline number (paper: <= 1.6%, always < 2%).
+	MaxOverhead float64
+}
+
+// Fig11MsgLens is the paper's -msglen sweep: 0B to 1MB.
+func Fig11MsgLens() []int {
+	lens := []int{0}
+	for b := 1; b <= 1<<20; b <<= 1 {
+		lens = append(lens, b)
+	}
+	return lens
+}
+
+// Fig11 runs the latency comparison with `reps` round trips per
+// message length (the paper uses 10k; 50 is enough for a deterministic
+// simulator).
+func Fig11(reps int) (*Fig11Result, error) {
+	if reps <= 0 {
+		reps = 50
+	}
+	g := fig10Topology()
+	full, sdt, _, err := buildModeNet(g, routing.ShortestPath{})
+	if err != nil {
+		return nil, err
+	}
+	hosts := g.Hosts()
+	a, b := hosts[0], hosts[7]
+	res := &Fig11Result{}
+	for _, bytes := range Fig11MsgLens() {
+		fn, err := full()
+		if err != nil {
+			return nil, err
+		}
+		fullRTT := netsim.MeanRTT(netsim.MeasurePingpong(fn, a, b, bytes, reps))
+		sn, err := sdt()
+		if err != nil {
+			return nil, err
+		}
+		sdtRTT := netsim.MeanRTT(netsim.MeasurePingpong(sn, a, b, bytes, reps))
+		over := float64(sdtRTT-fullRTT) / float64(fullRTT)
+		res.Points = append(res.Points, Fig11Point{Bytes: bytes, FullRTT: fullRTT, SDTRTT: sdtRTT, Overhead: over})
+		if over > res.MaxOverhead {
+			res.MaxOverhead = over
+		}
+	}
+	return res, nil
+}
+
+// Format prints the figure's series as rows.
+func (r *Fig11Result) Format(w io.Writer) {
+	writeHeader(w, "Fig. 11: additional overhead by SDT on 8-hop latency")
+	fmt.Fprintf(w, "%-10s %14s %14s %12s\n", "msglen", "full RTT", "SDT RTT", "overhead")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-10s %12.3fus %12.3fus %12s\n",
+			fmtBytes(p.Bytes),
+			float64(p.FullRTT)/float64(netsim.Microsecond),
+			float64(p.SDTRTT)/float64(netsim.Microsecond),
+			pct(p.Overhead))
+	}
+	fmt.Fprintf(w, "max overhead: %s (paper: <=1.6%%, always <2%%)\n", pct(r.MaxOverhead))
+}
+
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Fig13Point is one node count of the evaluation-time scaling study.
+type Fig13Point struct {
+	Nodes int
+	// RealACT is the application completion time on the (full) testbed
+	// — the x-axis annotation of Fig. 13.
+	RealACT netsim.Time
+	// Evaluation times per platform.
+	FullEval time.Duration
+	SDTEval  time.Duration
+	SimEval  time.Duration
+	// Normalised to the full testbed (the figure's y-axis).
+	SDTFactor float64
+	SimFactor float64
+}
+
+// Fig13Result reproduces Fig. 13: evaluation times of full testbed,
+// simulator and SDT running IMB Alltoall on Dragonfly(4,9,2) as the
+// node count grows.
+type Fig13Result struct {
+	Points []Fig13Point
+}
+
+// Fig13 sweeps node counts (paper: 1–32; node counts below 2 exchange
+// no traffic, so the sweep starts at 2). bytes/reps scale the alltoall;
+// zero means Table IV scale.
+func Fig13(nodeCounts []int, bytes, reps int) (*Fig13Result, error) {
+	if nodeCounts == nil {
+		nodeCounts = []int{2, 4, 8, 16, 32}
+	}
+	if bytes <= 0 {
+		bytes = 128 * 1024
+	}
+	if reps <= 0 {
+		reps = 8
+	}
+	g := topology.Dragonfly(4, 9, 2, 1)
+	res := &Fig13Result{}
+	for _, n := range nodeCounts {
+		tr := workload.Alltoall(n, bytes, reps)
+		tb, err := core.PaperTestbed([]*topology.Graph{g})
+		if err != nil {
+			return nil, err
+		}
+		hosts := g.Hosts()[:n]
+		full, err := tb.RunTrace(g, tr, hosts, core.FullTestbed)
+		if err != nil {
+			return nil, err
+		}
+		sdt, err := tb.RunTrace(g, tr, hosts, core.SDT)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := tb.RunTrace(g, tr, hosts, core.Simulator)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig13Point{
+			Nodes: n, RealACT: full.ACT,
+			FullEval: full.Eval, SDTEval: sdt.Eval, SimEval: sim.Eval,
+			SDTFactor: float64(sdt.Eval) / float64(full.Eval),
+			SimFactor: float64(sim.Eval) / float64(full.Eval),
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Format prints the Fig. 13 series.
+func (r *Fig13Result) Format(w io.Writer) {
+	writeHeader(w, "Fig. 13: evaluation times — full testbed vs simulator vs SDT (IMB Alltoall on Dragonfly)")
+	fmt.Fprintf(w, "%6s %12s %14s %14s %14s %10s %10s\n",
+		"nodes", "real ACT", "full eval", "SDT eval", "sim eval", "SDT/full", "sim/full")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%6d %10.2fms %14s %14s %14s %9.2fx %9.1fx\n",
+			p.Nodes,
+			float64(p.RealACT)/float64(netsim.Millisecond),
+			p.FullEval.Round(time.Microsecond),
+			p.SDTEval.Round(time.Microsecond),
+			p.SimEval.Round(time.Microsecond),
+			p.SDTFactor, p.SimFactor)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Table2Row compares one TP method across the paper's workload set:
+// the DC topologies (Fat-Tree k=4, Dragonfly(4,9,2), 4x4x4 Torus) and
+// the 261 WAN maps of the Internet Topology Zoo.
+type Table2Row struct {
+	Method projection.Method
+	// SwitchesNeeded per DC topology (-1 = not projectable on <=8).
+	FatTree, Dragonfly, Torus int
+	// HardwareUSD prices the hardware for the largest DC requirement.
+	HardwareUSD float64
+	// ZooCoverage counts zoo WANs projectable with 3 switches.
+	ZooCoverage int
+	// Reconfig is the modelled reconfiguration time for the Fat-Tree
+	// deployment.
+	Reconfig time.Duration
+	// BandwidthFactor is usable fraction of port bandwidth.
+	BandwidthFactor float64
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Rows    []Table2Row
+	ZooSize int
+}
+
+// Table2 runs the scalability/cost/convenience comparison. zooSubset
+// limits the zoo sweep for quick runs (0 = all 261).
+func Table2(zooSubset int) (*Table2Result, error) {
+	spec := projection.Commodity64("sw")
+	zoo := topology.Zoo(42)
+	if zooSubset > 0 && zooSubset < len(zoo) {
+		zoo = zoo[:zooSubset]
+	}
+	ft := topology.FatTree(4)
+	df := topology.Dragonfly(4, 9, 2, 1)
+	torus := topology.Torus3D(4, 4, 4, 0)
+
+	// Flow-table entries for the Fat-Tree deployment (SDT reconfig cost
+	// driver): compute once from a real compile.
+	entries, err := fatTreeEntries()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table2Result{ZooSize: len(zoo)}
+	for _, m := range []projection.Method{
+		projection.MethodSDT, projection.MethodSP, projection.MethodSPOS, projection.MethodTurboNet,
+	} {
+		row := Table2Row{Method: m, FatTree: -1, Dragonfly: -1, Torus: -1, BandwidthFactor: 1}
+		var worst projection.Requirement
+		for i, g := range []*topology.Graph{ft, df, torus} {
+			req, err := projection.Requirements(g, spec, m, 8)
+			if err != nil {
+				continue
+			}
+			switch i {
+			case 0:
+				row.FatTree = req.Switches
+			case 1:
+				row.Dragonfly = req.Switches
+			case 2:
+				row.Torus = req.Switches
+			}
+			if req.Switches > worst.Switches {
+				worst = req
+			}
+			row.BandwidthFactor = req.BandwidthFactor
+		}
+		row.HardwareUSD = costmodel.HardwareCost(worst)
+		ftReq, err := projection.Requirements(ft, spec, m, 8)
+		if err == nil {
+			row.Reconfig = costmodel.ReconfigTime(ftReq, entries)
+		}
+		for _, g := range zoo {
+			if projection.Projectable(g, spec, m, 3) {
+				row.ZooCoverage++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// fatTreeEntries compiles the k=4 fat-tree once and returns the total
+// entry count (the §VII-C figure).
+func fatTreeEntries() (int, error) {
+	g := topology.FatTree(4)
+	switches := []projection.PhysicalSwitch{
+		projection.Commodity64("a"), projection.Commodity64("b"), projection.Commodity64("c"),
+	}
+	cab, err := projection.PlanCabling(switches, []*topology.Graph{g}, partitionOpts())
+	if err != nil {
+		return 0, err
+	}
+	plan, err := projection.Project(g, cab, partitionOpts())
+	if err != nil {
+		return 0, err
+	}
+	routes, err := routing.FatTreeDFS{}.Compute(g)
+	if err != nil {
+		return 0, err
+	}
+	tables, err := projection.CompileFlowTables(plan, routes, projection.CompileOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return projection.EntryCount(tables), nil
+}
+
+// Format prints Table II.
+func (r *Table2Result) Format(w io.Writer) {
+	writeHeader(w, "Table II: comparison between SDT and other TP methods")
+	fmt.Fprintf(w, "%-14s %8s %10s %7s %12s %14s %12s %6s\n",
+		"method", "FT(k=4)", "DF(4,9,2)", "Torus", "hardware $", "reconfig", "zoo cover", "bw")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %8s %10s %7s %12.0f %14s %8d/%d %6.2f\n",
+			row.Method, swCount(row.FatTree), swCount(row.Dragonfly), swCount(row.Torus),
+			row.HardwareUSD, row.Reconfig.Round(time.Millisecond),
+			row.ZooCoverage, r.ZooSize, row.BandwidthFactor)
+	}
+}
+
+func swCount(n int) string {
+	if n < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Table4Cell is one (application, topology) evaluation: ACT on SDT vs
+// the simulator, the deviation, and the evaluation-time speedup — the
+// paper's "Ax (B%)" cells.
+type Table4Cell struct {
+	App      string
+	Topology string
+	Ranks    int
+	ACTSDT   netsim.Time
+	ACTSim   netsim.Time
+	// Deviation is |ACTSDT-ACTSim|/ACTSim (paper: <= 3%).
+	Deviation float64
+	// EvalSDT is deploy+ACT; EvalSim is the simulator's wall clock.
+	EvalSDT time.Duration
+	EvalSim time.Duration
+	// Speedup = EvalSim / EvalSDT (paper: up to 2899x at their scale).
+	Speedup float64
+}
+
+// Table4Result reproduces Table IV.
+type Table4Result struct {
+	Cells []Table4Cell
+	// MaxDeviation is the headline ACT agreement (paper: max 3%).
+	MaxDeviation float64
+}
+
+// table4Topologies are the §VI-D evaluation topologies.
+func table4Topologies() []*topology.Graph {
+	return []*topology.Graph{
+		topology.Dragonfly(4, 9, 2, 1),
+		topology.FatTree(4),
+		topology.Torus2D(5, 5, 1),
+		topology.Torus3D(4, 4, 4, 1),
+	}
+}
+
+// Table4 runs the application sweep with `ranks` MPI ranks per run
+// (the paper uses up to 32; smaller values preserve the comparison and
+// run much faster). apps of nil means all Table IV applications.
+func Table4(ranks int, apps []string) (*Table4Result, error) {
+	if ranks <= 0 {
+		ranks = 16
+	}
+	if apps == nil {
+		apps = workload.TableIVApps()
+	}
+	res := &Table4Result{}
+	for _, g := range table4Topologies() {
+		n := ranks
+		if h := g.NumHosts(); n > h {
+			n = h
+		}
+		tb, err := testbedSizedFor(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, app := range apps {
+			tr, err := workload.ByName(app, n)
+			if err != nil {
+				return nil, err
+			}
+			hosts := g.Hosts()[:n]
+			sdt, err := tb.RunTrace(g, tr, hosts, core.SDT)
+			if err != nil {
+				return nil, fmt.Errorf("table4: %s on %s (SDT): %w", app, g.Name, err)
+			}
+			sim, err := tb.RunTrace(g, tr, hosts, core.Simulator)
+			if err != nil {
+				return nil, fmt.Errorf("table4: %s on %s (sim): %w", app, g.Name, err)
+			}
+			dev := math.Abs(float64(sdt.ACT-sim.ACT)) / float64(sim.ACT)
+			cell := Table4Cell{
+				App: app, Topology: g.Name, Ranks: n,
+				ACTSDT: sdt.ACT, ACTSim: sim.ACT, Deviation: dev,
+				EvalSDT: sdt.Eval, EvalSim: sim.Eval,
+				Speedup: float64(sim.Eval) / float64(sdt.Eval),
+			}
+			res.Cells = append(res.Cells, cell)
+			if dev > res.MaxDeviation {
+				res.MaxDeviation = dev
+			}
+		}
+	}
+	return res, nil
+}
+
+// Format prints Table IV.
+func (r *Table4Result) Format(w io.Writer) {
+	writeHeader(w, "Table IV: real application ACTs on SDT compared to simulator")
+	fmt.Fprintf(w, "%-10s %-18s %6s %12s %12s %9s %12s %12s %9s\n",
+		"app", "topology", "ranks", "ACT(SDT)", "ACT(sim)", "dev", "eval(SDT)", "eval(sim)", "speedup")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-10s %-18s %6d %11.2fms %11.2fms %9s %12s %12s %8.1fx\n",
+			c.App, c.Topology, c.Ranks,
+			float64(c.ACTSDT)/float64(netsim.Millisecond),
+			float64(c.ACTSim)/float64(netsim.Millisecond),
+			pct(c.Deviation),
+			c.EvalSDT.Round(time.Millisecond), c.EvalSim.Round(time.Millisecond),
+			c.Speedup)
+	}
+	fmt.Fprintf(w, "max ACT deviation: %s (paper: <=3%%)\n", pct(r.MaxDeviation))
+}

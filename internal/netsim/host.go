@@ -1,0 +1,280 @@
+package netsim
+
+// mailbox matches arrived messages with posted receives, MPI-style
+// (exact source + tag matching, FIFO per key).
+type mailbox struct {
+	arrived map[msgKey]int
+	waiting map[msgKey][]func()
+}
+
+type msgKey struct {
+	src int
+	tag int
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{arrived: map[msgKey]int{}, waiting: map[msgKey][]func(){}}
+}
+
+func (m *mailbox) deliver(sim *Sim, src, tag int) {
+	k := msgKey{src, tag}
+	if ws := m.waiting[k]; len(ws) > 0 {
+		cont := ws[0]
+		m.waiting[k] = ws[1:]
+		sim.After(0, cont)
+		return
+	}
+	m.arrived[k]++
+}
+
+func (m *mailbox) recv(sim *Sim, src, tag int, cont func()) {
+	k := msgKey{src, tag}
+	if m.arrived[k] > 0 {
+		m.arrived[k]--
+		sim.After(0, cont)
+		return
+	}
+	m.waiting[k] = append(m.waiting[k], cont)
+}
+
+// roceMsg is one in-flight RDMA message.
+type roceMsg struct {
+	id    int64
+	dst   int
+	tag   int
+	bytes int
+	sent  int
+}
+
+// roceQP is a per-destination queue pair with DCQCN rate control.
+type roceQP struct {
+	h          *Host
+	dst        int
+	rate       float64 // current rate, bits/s
+	target     float64
+	alpha      float64
+	msgs       []*roceMsg
+	pumping    bool
+	nextSendAt Time
+	timerOn    bool
+}
+
+// roceEngine manages QPs and message reassembly for one host.
+type roceEngine struct {
+	h      *Host
+	qps    map[int]*roceQP
+	qpList []*roceQP // creation order, for deterministic kicks
+	// reassembly: (src, msgID) -> bytes still missing.
+	rx map[rxKey]*rxState
+	// np: last CNP time per source (congestion notification point).
+	np map[int]Time
+	// nextMsg allocates message IDs.
+	nextMsg int64
+}
+
+type rxKey struct {
+	src int
+	msg int64
+}
+
+type rxState struct {
+	got   int
+	total int // -1 until the final packet announces it
+	tag   int
+}
+
+func newRoceEngine(h *Host) *roceEngine {
+	return &roceEngine{h: h, qps: map[int]*roceQP{}, rx: map[rxKey]*rxState{}, np: map[int]Time{}}
+}
+
+func (e *roceEngine) qp(dst int) *roceQP {
+	if q, ok := e.qps[dst]; ok {
+		return q
+	}
+	line := e.h.net.Cfg.LinkBps
+	q := &roceQP{h: e.h, dst: dst, rate: line, target: line, alpha: 1}
+	e.qps[dst] = q
+	e.qpList = append(e.qpList, q)
+	return q
+}
+
+// Send queues an RDMA message toward dst. Message boundaries are
+// preserved; completion is signalled at the receiver's mailbox.
+func (e *roceEngine) Send(dst, tag, bytes int) {
+	e.nextMsg++
+	m := &roceMsg{id: e.nextMsg<<16 | int64(e.h.vertex&0xffff), dst: dst, tag: tag, bytes: bytes}
+	q := e.qp(dst)
+	q.msgs = append(q.msgs, m)
+	q.pump()
+}
+
+// pump emits packets of the head message, paced by the DCQCN rate and
+// self-clocked against the NIC queue: while more than two packets wait
+// on the wire queue, emission pauses until the NIC drains (nicDrained
+// kicks it). This enforces the rate at the wire even across PFC
+// pauses.
+func (q *roceQP) pump() {
+	if q.pumping || len(q.msgs) == 0 {
+		return
+	}
+	n := q.h.net
+	if q.h.out.queues[0].bytes > 2*(n.Cfg.MTU+n.Cfg.HeaderBytes) {
+		return // NIC backlogged; resume on drain
+	}
+	q.pumping = true
+	now := n.Sim.Now()
+	at := now + n.Cfg.HostLatency
+	if q.nextSendAt > at {
+		at = q.nextSendAt
+	}
+	m := q.msgs[0]
+	payload := n.Cfg.MTU
+	if rem := m.bytes - m.sent; rem < payload {
+		payload = rem
+	}
+	if payload < 0 {
+		payload = 0
+	}
+	size := payload + n.Cfg.HeaderBytes
+	last := m.sent+payload >= m.bytes
+	pkt := &Packet{
+		ID: n.pktID(), Kind: Data, Src: q.h.vertex, Dst: m.dst,
+		Size: size, Len: payload, Flow: m.id, Seq: int64(m.sent),
+		Tag: 0, Prio: 0, AppTag: m.tag, Last: last, MsgBytes: m.bytes,
+	}
+	m.sent += payload
+	if last {
+		q.msgs = q.msgs[1:]
+	}
+	gap := serTime(size, q.rate)
+	n.Sim.At(at, func() {
+		q.h.inject(pkt)
+		q.nextSendAt = n.Sim.Now() + gap
+		q.pumping = false
+		q.pump()
+	})
+	q.armTimer()
+}
+
+// armTimer starts the DCQCN rate-increase timer if congestion control
+// is enabled.
+func (q *roceQP) armTimer() {
+	n := q.h.net
+	if !n.Cfg.DCQCN || q.timerOn {
+		return
+	}
+	q.timerOn = true
+	var tick func()
+	tick = func() {
+		// Additive increase toward line rate, alpha decay.
+		line := n.Cfg.LinkBps
+		q.target += n.Cfg.DCQCNAIRate
+		if q.target > line {
+			q.target = line
+		}
+		q.rate = (q.rate + q.target) / 2
+		q.alpha *= 1 - n.Cfg.DCQCNGain
+		if len(q.msgs) == 0 && q.rate >= line*0.99 {
+			q.timerOn = false
+			return
+		}
+		n.Sim.After(n.Cfg.DCQCNTimer, tick)
+	}
+	n.Sim.After(n.Cfg.DCQCNTimer, tick)
+}
+
+// onCNP applies the DCQCN rate-decrease law.
+func (q *roceQP) onCNP() {
+	n := q.h.net
+	g := n.Cfg.DCQCNGain
+	q.alpha = (1-g)*q.alpha + g
+	q.target = q.rate
+	q.rate *= 1 - q.alpha/2
+	if min := n.Cfg.LinkBps / 100; q.rate < min {
+		q.rate = min
+	}
+	q.armTimer()
+}
+
+// Send posts an RDMA message from this host toward host vertex dst
+// with an application tag — the public messaging entry point.
+func (h *Host) Send(dst, tag, bytes int) { h.roce.Send(dst, tag, bytes) }
+
+// Recv registers cont to run when a message with (src, tag) completes
+// delivery at this host (matching is MPI-style, counted per key).
+func (h *Host) Recv(src, tag int, cont func()) { h.mailbox.recv(h.net.Sim, src, tag, cont) }
+
+// Vertex returns the topology vertex ID of this host.
+func (h *Host) Vertex() int { return h.vertex }
+
+// inject hands a packet to the host NIC egress queue.
+func (h *Host) inject(pkt *Packet) {
+	pkt.Prio = pfcClass(pkt)
+	pkt.arrClass = pkt.Prio // NIC-originated: arrival class = wire class
+	h.out.queues[pkt.Prio].push(pkt)
+	h.net.tryTransmit(h.out)
+}
+
+// nicDrained is called when a packet leaves the NIC wire queue; it
+// resumes any QP pump that deferred on backlog.
+func (h *Host) nicDrained() {
+	for _, q := range h.roce.qpList {
+		q.pump()
+	}
+}
+
+// receive handles a packet arriving at the host NIC.
+func (h *Host) receive(pkt *Packet) {
+	switch pkt.Kind {
+	case Data:
+		if tc, ok := h.tcp[pkt.Flow]; ok {
+			tc.onData(pkt)
+			return
+		}
+		h.roceData(pkt)
+	case Ack:
+		if tc, ok := h.tcp[pkt.Flow]; ok {
+			tc.onAck(pkt)
+		}
+	case Cnp:
+		h.roce.qp(pkt.Src).onCNP()
+	}
+}
+
+// roceData reassembles RDMA messages and runs the DCQCN notification
+// point (CNP on ECN-marked arrivals, rate-limited per source).
+func (h *Host) roceData(pkt *Packet) {
+	n := h.net
+	e := h.roce
+	h.DeliveredBytes += int64(pkt.Len)
+	n.DeliveredPkt++
+	if pkt.ECN && n.Cfg.DCQCN {
+		if last, ok := e.np[pkt.Src]; !ok || n.Sim.Now()-last >= n.Cfg.CNPInterval {
+			e.np[pkt.Src] = n.Sim.Now()
+			cnp := &Packet{
+				ID: n.pktID(), Kind: Cnp, Src: h.vertex, Dst: pkt.Src,
+				Size: 64, Prio: 1,
+			}
+			h.inject(cnp)
+		}
+	}
+	key := rxKey{pkt.Src, pkt.Flow}
+	st, ok := e.rx[key]
+	if !ok {
+		st = &rxState{total: -1}
+		e.rx[key] = st
+	}
+	st.got += pkt.Len
+	st.tag = pkt.AppTag
+	if pkt.Last {
+		st.total = pkt.MsgBytes
+	}
+	if st.total >= 0 && st.got >= st.total {
+		delete(e.rx, key)
+		src, tag := pkt.Src, st.tag
+		// NIC/driver delivery latency before the application sees it.
+		n.Sim.After(n.Cfg.HostLatency, func() {
+			h.mailbox.deliver(n.Sim, src, tag)
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import "repro/internal/topology"
+
+// MeasurePingpong runs an IMB-style Pingpong between hosts a and b:
+// reps round trips of a message of the given payload size, returning
+// the RTT of each repetition (§VI-B1's latency methodology).
+func MeasurePingpong(n *Network, a, b int, bytes, reps int) []Time {
+	rtts := make([]Time, 0, reps)
+	ha, hb := n.Host(a), n.Host(b)
+	const tag = 7001
+
+	// Responder: echo forever.
+	var echo func()
+	echo = func() {
+		hb.mailbox.recv(n.Sim, a, tag, func() {
+			hb.roce.Send(a, tag, bytes)
+			echo()
+		})
+	}
+	echo()
+
+	var start Time
+	var ping func(i int)
+	ping = func(i int) {
+		if i >= reps {
+			return
+		}
+		start = n.Sim.Now()
+		ha.roce.Send(b, tag, bytes)
+		ha.mailbox.recv(n.Sim, b, tag, func() {
+			rtts = append(rtts, n.Sim.Now()-start)
+			ping(i + 1)
+		})
+	}
+	n.Sim.After(0, func() { ping(0) })
+	n.Sim.Run(0)
+	return rtts
+}
+
+// MeanRTT averages a sample set.
+func MeanRTT(rtts []Time) Time {
+	if len(rtts) == 0 {
+		return 0
+	}
+	var s Time
+	for _, r := range rtts {
+		s += r
+	}
+	return s / Time(len(rtts))
+}
+
+// GoodputSample is one per-host bandwidth measurement bin.
+type GoodputSample struct {
+	At   Time
+	Gbps float64
+}
+
+// SampleGoodput arranges periodic sampling of each listed host's
+// delivered bytes, returning a live map that fills as the simulation
+// runs. Call before Run; read after.
+func SampleGoodput(n *Network, hosts []int, interval, until Time) map[int][]GoodputSample {
+	out := map[int][]GoodputSample{}
+	last := map[int]int64{}
+	var tick func(at Time)
+	tick = func(at Time) {
+		n.Sim.At(at, func() {
+			for _, hv := range hosts {
+				h := n.Host(hv)
+				d := h.DeliveredBytes - last[hv]
+				last[hv] = h.DeliveredBytes
+				gbps := float64(d*8) / interval.Seconds() / 1e9
+				out[hv] = append(out[hv], GoodputSample{At: at, Gbps: gbps})
+			}
+			if at+interval <= until {
+				tick(at + interval)
+			}
+		})
+	}
+	tick(interval)
+	return out
+}
+
+// LinkLoads snapshots transmitted bytes per logical edge (both
+// directions summed) — the Network Monitor feed for adaptive routing.
+func (n *Network) LinkLoads() map[int]float64 {
+	out := map[int]float64{}
+	for _, l := range n.links {
+		out[l.EdgeID] += float64(l.TxBytes)
+	}
+	return out
+}
+
+// ResetLinkLoads zeroes the per-link byte counters (telemetry epoch).
+func (n *Network) ResetLinkLoads() {
+	for _, l := range n.links {
+		l.TxBytes = 0
+	}
+}
+
+// HostsOf is a convenience returning the topology's host vertex IDs.
+func HostsOf(g *topology.Graph) []int { return g.Hosts() }

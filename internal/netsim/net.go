@@ -1,0 +1,454 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// PktKind distinguishes packet roles.
+type PktKind int
+
+const (
+	// Data carries flow payload.
+	Data PktKind = iota
+	// Ack is a transport acknowledgement (TCP cumulative or RoCE msg).
+	Ack
+	// Cnp is a DCQCN congestion notification packet.
+	Cnp
+)
+
+// Packet is the unit of simulation.
+type Packet struct {
+	ID   int64
+	Kind PktKind
+	Src  int // source host vertex ID
+	Dst  int // destination host vertex ID
+	Size int // bytes on the wire (payload + header)
+	Tag  int // virtual-channel tag, rewritten by rules
+	Prio int // PFC priority class: 0 = lossless data, 1 = control
+	ECN  bool
+	Flow int64 // flow / message identifier
+	Seq  int64 // byte offset within the flow
+	Len  int   // payload bytes
+
+	// AppTag is the application (MPI) tag for message matching; unlike
+	// Tag it is never rewritten in flight.
+	AppTag int
+	// Last marks the final packet of a message; MsgBytes carries the
+	// message's total payload size for reassembly.
+	Last     bool
+	MsgBytes int
+
+	inPort   int // bookkeeping: ingress port at current switch
+	arrClass int // bookkeeping: wire class the packet arrived with
+	AckSeq   int64
+	AckECN   bool
+}
+
+// Crossbar models the internal switching fabric of one physical switch.
+// Under SDT several sub-switches share one crossbar, so its (slight)
+// serialisation and the projected pipeline overhead are the physical
+// source of the Fig. 11 deviation.
+type Crossbar struct {
+	bps       float64
+	extra     Time
+	busyUntil Time
+	// Transits counts crossbar passes (telemetry).
+	Transits int64
+}
+
+// delay returns the crossbar contribution for a packet of n bytes
+// arriving now, advancing the busy horizon.
+func (x *Crossbar) delay(now Time, n int) Time {
+	svc := serTime(n, x.bps)
+	start := now
+	if x.busyUntil > start {
+		start = x.busyUntil
+	}
+	x.busyUntil = start + svc
+	x.Transits++
+	return (start - now) + svc + x.extra
+}
+
+// DirLink is one direction of a full-duplex cable.
+type DirLink struct {
+	id        int
+	to        deviceRef
+	bps       float64
+	prop      Time
+	busyUntil Time
+	// TxBytes accumulates transmitted payloadful bytes (Network Monitor).
+	TxBytes int64
+	// EdgeID is the logical edge this link realises.
+	EdgeID int
+}
+
+type deviceRef struct {
+	host   *Host // exactly one of host/sw set
+	sw     *SimSwitch
+	inPort int // ingress port at the receiving device
+}
+
+// fifo is a byte-accounted packet queue.
+type fifo struct {
+	pkts  []*Packet
+	bytes int
+}
+
+func (q *fifo) push(p *Packet) { q.pkts = append(q.pkts, p); q.bytes += p.Size }
+func (q *fifo) pop() *Packet {
+	p := q.pkts[0]
+	q.pkts = q.pkts[1:]
+	q.bytes -= p.Size
+	return p
+}
+func (q *fifo) empty() bool { return len(q.pkts) == 0 }
+
+// nPrio is the number of PFC traffic classes. Data packets travel in
+// the class of their current VC tag (classes 0..nPrio-2) — on real
+// RoCE fabrics, virtual channels map to PFC priorities, and deadlock
+// avoidance by "changing VC" (Table III) only works when each VC has
+// its own lossless buffer. The top class carries control traffic
+// (ACK/CNP) and is never paused.
+const nPrio = 8
+
+// ctrlClass is the unpaused control class.
+const ctrlClass = nPrio - 1
+
+// pfcClass maps a packet to its traffic class from its current tag.
+func pfcClass(pkt *Packet) int {
+	if pkt.Kind != Data {
+		return ctrlClass
+	}
+	c := pkt.Tag
+	if c < 0 {
+		c = 0
+	}
+	if c > nPrio-2 {
+		c = c % (nPrio - 1)
+	}
+	return c
+}
+
+// OutPort is an egress port with per-priority queues feeding a link.
+type OutPort struct {
+	link    *DirLink
+	queues  [nPrio]fifo
+	paused  [nPrio]bool
+	sending bool
+	// ownerCache is the switch owning this port (nil for host NICs);
+	// used for PFC ingress accounting on dequeue.
+	ownerCache *SimSwitch
+	// hostOwner is the host owning this NIC port (nil for switch
+	// ports); its QPs are kicked when the queue drains so DCQCN pacing
+	// is enforced at the wire, not just at enqueue.
+	hostOwner *Host
+	// Drops counts tail drops (PFC off).
+	Drops int64
+}
+
+func (o *OutPort) queuedBytes() int {
+	n := 0
+	for i := range o.queues {
+		n += o.queues[i].bytes
+	}
+	return n
+}
+
+// SimSwitch is one logical switch in the simulated fabric.
+type SimSwitch struct {
+	vertex   int // topology vertex ID
+	net      *Network
+	crossbar *Crossbar
+	// outPorts indexed by logical port number (1-based; 0 unused).
+	outPorts []*OutPort
+	// upstream maps ingress port -> the OutPort at the far device that
+	// feeds it (for PFC pause signalling).
+	upstream []*OutPort
+	// ingressBytes tracks buffered bytes per (ingress port, priority)
+	// for PFC thresholds.
+	ingressBytes [][nPrio]int
+	// pfcPaused remembers which upstream ports we paused.
+	pfcSent [][nPrio]bool
+
+	// Drops counts table-miss drops.
+	Drops int64
+}
+
+// Host is a simulated compute node: one NIC port plus transports.
+type Host struct {
+	vertex int
+	net    *Network
+	out    *OutPort
+	// upstream is the switch-side OutPort feeding this host (for PFC
+	// from host; hosts also honour pause on their own out port).
+	upstream *OutPort
+
+	roce *roceEngine
+	tcp  map[int64]*TCPConn // by flow ID (receiver and sender side)
+
+	// DeliveredBytes counts payload bytes received (goodput).
+	DeliveredBytes int64
+	// deliver hooks message completions into the app layer.
+	mailbox *mailbox
+}
+
+// Forwarder decides forwarding at a logical switch.
+type Forwarder interface {
+	// Forward returns the logical egress port and new tag for a packet
+	// arriving at switch vertex sw on logical port inPort, plus an
+	// extra pipeline delay (0 for an installed entry; reactive
+	// controllers charge the flow-setup round trip here). ok=false
+	// drops the packet (table miss).
+	Forward(sw, inPort int, pkt *Packet) (outPort, newTag int, delay Time, ok bool)
+}
+
+// RouteForwarder forwards using a routing rule set (control plane
+// compiled from the same rules that fill the OpenFlow tables) with
+// every entry pre-installed (proactive deployment).
+type RouteForwarder struct {
+	Routes *routing.Routes
+}
+
+// Forward implements Forwarder.
+func (rf RouteForwarder) Forward(sw, inPort int, pkt *Packet) (int, int, Time, bool) {
+	rule := rf.Routes.Lookup(sw, inPort, pkt.Dst, pkt.Tag)
+	if rule == nil {
+		return 0, 0, 0, false
+	}
+	tag := pkt.Tag
+	if rule.NewTag >= 0 {
+		tag = rule.NewTag
+	}
+	return rule.OutPort, tag, 0, true
+}
+
+// Network is a simulated fabric: the logical topology's switches and
+// hosts joined by directed links.
+type Network struct {
+	Sim    *Sim
+	Topo   *topology.Graph
+	Cfg    Config
+	Fwd    Forwarder
+	rng    *rand.Rand
+	nextID int64
+
+	switches map[int]*SimSwitch
+	hosts    map[int]*Host
+	links    []*DirLink
+
+	// Stats
+	TotalDrops   int64
+	PausesSent   int64
+	EcnMarks     int64
+	DeliveredPkt int64
+}
+
+// NewNetwork builds the fabric for a logical topology. crossbarOf maps
+// each switch vertex to a crossbar group: identity for a full testbed,
+// the projection plan's physical switch for SDT. sdtExtra applies the
+// per-hop projection overhead to every switch in a shared group.
+func NewNetwork(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v int) int, sdtExtra bool) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Sim:      NewSim(),
+		Topo:     g,
+		Cfg:      cfg,
+		Fwd:      fwd,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		switches: map[int]*SimSwitch{},
+		hosts:    map[int]*Host{},
+	}
+	// Crossbars per group.
+	xbars := map[int]*Crossbar{}
+	extra := Time(0)
+	if sdtExtra {
+		extra = cfg.SDTPerHopExtra
+	}
+	getXbar := func(v int) *Crossbar {
+		gid := v
+		if crossbarOf != nil {
+			gid = crossbarOf(v)
+		}
+		if x, ok := xbars[gid]; ok {
+			return x
+		}
+		x := &Crossbar{bps: cfg.CrossbarBps, extra: extra}
+		xbars[gid] = x
+		return x
+	}
+
+	for _, v := range g.Switches() {
+		maxPort := 0
+		for _, eid := range g.IncidentEdges(v) {
+			if p := g.Edges[eid].PortAt(v); p > maxPort {
+				maxPort = p
+			}
+		}
+		n.switches[v] = &SimSwitch{
+			vertex:       v,
+			net:          n,
+			crossbar:     getXbar(v),
+			outPorts:     make([]*OutPort, maxPort+1),
+			upstream:     make([]*OutPort, maxPort+1),
+			ingressBytes: make([][nPrio]int, maxPort+1),
+			pfcSent:      make([][nPrio]bool, maxPort+1),
+		}
+	}
+	for _, v := range g.Hosts() {
+		n.hosts[v] = &Host{vertex: v, net: n, mailbox: newMailbox(), tcp: map[int64]*TCPConn{}}
+	}
+
+	// Links: two directed channels per edge.
+	for _, e := range g.Edges {
+		mk := func(from, fromPort, to, toPort int) *DirLink {
+			l := &DirLink{id: len(n.links), bps: cfg.LinkBps, prop: cfg.PropDelay, EdgeID: e.ID}
+			if h, ok := n.hosts[to]; ok {
+				l.to = deviceRef{host: h, inPort: toPort}
+			} else {
+				l.to = deviceRef{sw: n.switches[to], inPort: toPort}
+			}
+			n.links = append(n.links, l)
+			op := &OutPort{link: l}
+			if h, ok := n.hosts[from]; ok {
+				op.hostOwner = h
+				h.out = op
+			} else {
+				op.ownerCache = n.switches[from]
+				n.switches[from].outPorts[fromPort] = op
+			}
+			return l
+		}
+		mk(e.A, e.APort, e.B, e.BPort)
+		mk(e.B, e.BPort, e.A, e.APort)
+	}
+	// Wire upstream references for PFC.
+	for _, e := range g.Edges {
+		setUp := func(at, atPort, far, farPort int) {
+			var farOut *OutPort
+			if h, ok := n.hosts[far]; ok {
+				farOut = h.out
+			} else {
+				farOut = n.switches[far].outPorts[farPort]
+			}
+			if sw, ok := n.switches[at]; ok {
+				sw.upstream[atPort] = farOut
+			} else {
+				n.hosts[at].upstream = farOut
+			}
+		}
+		setUp(e.A, e.APort, e.B, e.BPort)
+		setUp(e.B, e.BPort, e.A, e.APort)
+	}
+	for _, h := range n.hosts {
+		h.roce = newRoceEngine(h)
+	}
+	return n, nil
+}
+
+// Host returns the host device for a topology host vertex.
+func (n *Network) Host(v int) *Host { return n.hosts[v] }
+
+// Switch returns the switch device for a topology switch vertex.
+func (n *Network) Switch(v int) *SimSwitch { return n.switches[v] }
+
+func (n *Network) pktID() int64 { n.nextID++; return n.nextID }
+
+// tryTransmit starts transmission on an output port if idle, honouring
+// PFC pause state per priority (highest priority first).
+func (n *Network) tryTransmit(o *OutPort) {
+	if o.sending {
+		return
+	}
+	var q *fifo
+	for p := nPrio - 1; p >= 0; p-- {
+		if !o.queues[p].empty() && !o.paused[p] {
+			q = &o.queues[p]
+			break
+		}
+	}
+	if q == nil {
+		return
+	}
+	pkt := q.pop()
+	o.sending = true
+	l := o.link
+	ser := serTime(pkt.Size, l.bps)
+	start := n.Sim.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	l.busyUntil = start + ser
+	l.TxBytes += int64(pkt.Size)
+	// Capture ingress accounting keys now: pkt.inPort is rewritten by
+	// the downstream arrival, which under cut-through fires before our
+	// serialisation completes. PFC accounting uses the class the packet
+	// ARRIVED with (the wire class its upstream transmits on) — pausing
+	// the post-rewrite class would backpressure the wrong queue and can
+	// wedge VC-based deadlock avoidance.
+	accPort, accPrio, accSize := pkt.inPort, pkt.arrClass, pkt.Size
+	// Sender frees after serialisation.
+	n.Sim.At(start+ser, func() {
+		o.sending = false
+		n.onDequeued(o, accPort, accPrio, accSize)
+		n.tryTransmit(o)
+	})
+	// Receiver processing starts at header (cut-through) or tail.
+	arr := start + l.prop + ser
+	if n.Cfg.CutThrough {
+		hdr := serTime(minInt(pkt.Size, n.Cfg.HeaderBytes+64), l.bps)
+		arr = start + l.prop + hdr
+	}
+	to := l.to
+	n.Sim.At(arr, func() {
+		pkt.inPort = to.inPort
+		if to.sw != nil {
+			to.sw.receive(pkt)
+		} else {
+			to.host.receive(pkt)
+		}
+	})
+}
+
+// onDequeued updates PFC ingress accounting at the switch that owned
+// the queue (if any) when a packet leaves it, and kicks host QP pumps
+// when a NIC queue drains.
+func (n *Network) onDequeued(o *OutPort, inPort, prio, size int) {
+	if o.hostOwner != nil {
+		o.hostOwner.nicDrained()
+		return
+	}
+	sw := n.ownerOf(o)
+	if sw == nil {
+		return
+	}
+	if inPort <= 0 || inPort >= len(sw.ingressBytes) {
+		return
+	}
+	sw.ingressBytes[inPort][prio] -= size
+	if n.Cfg.PFC && sw.pfcSent[inPort][prio] && sw.ingressBytes[inPort][prio] <= n.Cfg.PFCXon {
+		sw.pfcSent[inPort][prio] = false
+		up := sw.upstream[inPort]
+		if up != nil {
+			// Resume after control-frame propagation.
+			n.Sim.After(n.Cfg.PropDelay+500*Nanosecond, func() {
+				up.paused[prio] = false
+				n.tryTransmit(up)
+			})
+		}
+	}
+}
+
+// ownerOf returns the switch owning an out port (nil for host NICs).
+func (n *Network) ownerOf(o *OutPort) *SimSwitch { return o.ownerCache }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

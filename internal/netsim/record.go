@@ -1,0 +1,72 @@
+package netsim
+
+// Trace recording: the paper's simulator replays "traces collected from
+// running an HPC application on real computing nodes" (§VI-A2). The
+// Recorder captures a live App run — sends, receives, and the measured
+// gaps between operations — as per-rank operation lists that replay
+// elsewhere (e.g. record on the full testbed, replay on SDT).
+
+// RecordedOp mirrors Op with the observed timing.
+type RecordedOp struct {
+	Op Op
+	// At is the simulation time the operation was issued/completed.
+	At Time
+}
+
+// Recorder accumulates per-rank operation streams from an App run.
+type Recorder struct {
+	ranks   int
+	ops     [][]RecordedOp
+	lastAct []Time
+}
+
+// NewRecorder prepares recording for an application with n ranks.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{ranks: n, ops: make([][]RecordedOp, n), lastAct: make([]Time, n)}
+}
+
+// Attach subscribes the recorder to an App's operation stream.
+// Explicit compute phases are recorded as issued; *implicit* gaps
+// (time a rank spent blocked in a receive) are measured from the
+// timestamps and re-inserted as compute on reconstruction — exactly
+// how trace collection on real nodes perceives application think time.
+func (rec *Recorder) Attach(app *App) {
+	app.OnOp = func(rank int, op Op, at Time) {
+		rec.ops[rank] = append(rec.ops[rank], RecordedOp{Op: op, At: at})
+	}
+}
+
+// Programs reconstructs replayable per-rank programs from the
+// recording. Gaps between consecutive operation issues that exceed the
+// pure transport time are folded into explicit compute ops, preserving
+// the application's temporal structure without simulating computation.
+func (rec *Recorder) Programs() [][]Op {
+	out := make([][]Op, rec.ranks)
+	for r := range rec.ops {
+		var prog []Op
+		var prevAt Time = -1
+		prevKind := OpCompute
+		for _, ro := range rec.ops[r] {
+			if prevAt >= 0 {
+				gap := ro.At - prevAt
+				// A gap after a receive is message wait — the replay's
+				// own messaging reproduces it. Gaps after sends or
+				// computes are application think time: fold them into
+				// an explicit compute op.
+				if prevKind != OpRecv && gap > 0 {
+					prog = append(prog, Op{Kind: OpCompute, Dur: gap})
+				}
+			}
+			prevAt = ro.At
+			prevKind = ro.Op.Kind
+			if ro.Op.Kind != OpCompute { // compute re-derived from gaps
+				prog = append(prog, ro.Op)
+			}
+		}
+		out[r] = prog
+	}
+	return out
+}
+
+// Ops reports the raw recorded operations of one rank.
+func (rec *Recorder) Ops(rank int) []RecordedOp { return rec.ops[rank] }

@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// runApp executes programs on a fresh line network and returns the app
+// plus the ACT.
+func runApp(t *testing.T, programs [][]Op, rec *Recorder) Time {
+	t.Helper()
+	g := topology.Line(4, 1)
+	routes, err := routing.ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(g, RouteForwarder{routes}, DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := NewApp(net, g.Hosts(), programs, nil)
+	if rec != nil {
+		rec.Attach(app)
+	}
+	app.Start()
+	net.Sim.Run(0)
+	act := app.ACT()
+	if act < 0 {
+		t.Fatal("app did not complete")
+	}
+	return act
+}
+
+func fourRankProgram() [][]Op {
+	// Rank 0 computes, sends to 1 and 3; ranks 1,3 echo back; rank 2
+	// relays a message on to 3 — a mix of think time and dependencies.
+	return [][]Op{
+		{
+			{Kind: OpCompute, Dur: 2 * Millisecond},
+			{Kind: OpSend, Peer: 1, Bytes: 64 * 1024, MTag: 1},
+			{Kind: OpSend, Peer: 3, Bytes: 32 * 1024, MTag: 2},
+			{Kind: OpRecv, Peer: 1, MTag: 3},
+			{Kind: OpRecv, Peer: 3, MTag: 4},
+		},
+		{
+			{Kind: OpRecv, Peer: 0, MTag: 1},
+			{Kind: OpCompute, Dur: 500 * Microsecond},
+			{Kind: OpSend, Peer: 0, Bytes: 8 * 1024, MTag: 3},
+			{Kind: OpSend, Peer: 2, Bytes: 16 * 1024, MTag: 5},
+		},
+		{
+			{Kind: OpRecv, Peer: 1, MTag: 5},
+			{Kind: OpSend, Peer: 3, Bytes: 16 * 1024, MTag: 6},
+		},
+		{
+			{Kind: OpRecv, Peer: 0, MTag: 2},
+			{Kind: OpSend, Peer: 0, Bytes: 8 * 1024, MTag: 4},
+			{Kind: OpRecv, Peer: 2, MTag: 6},
+		},
+	}
+}
+
+func TestRecorderCapturesAllOps(t *testing.T) {
+	programs := fourRankProgram()
+	rec := NewRecorder(len(programs))
+	runApp(t, programs, rec)
+	for r, prog := range programs {
+		if got := len(rec.Ops(r)); got != len(prog) {
+			t.Errorf("rank %d: recorded %d ops, ran %d", r, got, len(prog))
+		}
+	}
+	// Issue times must be non-decreasing per rank.
+	for r := range programs {
+		ops := rec.Ops(r)
+		for i := 1; i < len(ops); i++ {
+			if ops[i].At < ops[i-1].At {
+				t.Errorf("rank %d: op %d issued before op %d", r, i, i-1)
+			}
+		}
+	}
+}
+
+func TestRecordedTraceReplaysWithMatchingACT(t *testing.T) {
+	// Record a run, reconstruct programs (compute re-derived from
+	// gaps), replay — the ACT must match closely, the property that
+	// makes trace-driven evaluation sound (§VI-A2).
+	programs := fourRankProgram()
+	rec := NewRecorder(len(programs))
+	actOrig := runApp(t, programs, rec)
+	replayProgs := rec.Programs()
+	actReplay := runApp(t, replayProgs, nil)
+	diff := actReplay - actOrig
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff)/float64(actOrig) > 0.02 {
+		t.Errorf("replay ACT %v deviates from original %v by >2%%", actReplay, actOrig)
+	}
+}
+
+func TestRecordedProgramsValid(t *testing.T) {
+	programs := fourRankProgram()
+	rec := NewRecorder(len(programs))
+	runApp(t, programs, rec)
+	replay := rec.Programs()
+	// Sends/recvs must be balanced exactly as in the original.
+	count := func(progs [][]Op, kind OpKind) int {
+		n := 0
+		for _, p := range progs {
+			for _, op := range p {
+				if op.Kind == kind {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if count(replay, OpSend) != count(programs, OpSend) {
+		t.Errorf("sends: %d vs %d", count(replay, OpSend), count(programs, OpSend))
+	}
+	if count(replay, OpRecv) != count(programs, OpRecv) {
+		t.Errorf("recvs: %d vs %d", count(replay, OpRecv), count(programs, OpRecv))
+	}
+	// Explicit computes were consumed and re-derived.
+	if count(replay, OpCompute) == 0 {
+		t.Error("no compute gaps reconstructed")
+	}
+}
+
+func TestRecordThenReplayAcrossPlatforms(t *testing.T) {
+	// The paper's workflow: collect the trace once (their real nodes;
+	// here the full-testbed engine), then replay it on SDT. The
+	// replayed ACT on an identical fabric must match the original.
+	g := topology.Line(4, 1)
+	routes, err := routing.ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(programs [][]Op, sdt bool, rec *Recorder) Time {
+		var xof func(int) int
+		if sdt {
+			xof = func(int) int { return 0 }
+		}
+		net, err := NewNetwork(g, RouteForwarder{routes}, DefaultConfig(), xof, sdt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := NewApp(net, g.Hosts(), programs, nil)
+		if rec != nil {
+			rec.Attach(app)
+		}
+		app.Start()
+		net.Sim.Run(0)
+		return app.ACT()
+	}
+	programs := fourRankProgram()
+	rec := NewRecorder(len(programs))
+	full := run(programs, false, rec)
+	sdtACT := run(rec.Programs(), true, nil)
+	over := float64(sdtACT-full) / float64(full)
+	if over < 0 || over > 0.03 {
+		t.Errorf("trace replayed on SDT deviates %.4f from full-testbed recording", over)
+	}
+}

@@ -1,0 +1,119 @@
+// Package netsim is an event-driven, packet-level network simulator in
+// the style of BookSim and SST/Macro (§VI-A2 of the paper): it supports
+// PFC lossless operation, ECN marking, DCQCN rate control, a Reno-style
+// TCP, cut-through forwarding, and trace replay of MPI-like
+// applications.
+//
+// The same engine plays two roles in the reproduction:
+//
+//   - as the paper's *simulator baseline* (its wall-clock execution time
+//     is what Fig. 13 compares against), and
+//   - as the substrate standing in for physical hardware: the "full
+//     testbed" is the engine run on the logical topology with one
+//     crossbar per switch, while "SDT" is the same logical topology
+//     whose sub-switches share the crossbars of their physical hosts
+//     (plus the flow-table pipeline overhead), so the *difference*
+//     between the two runs isolates exactly the projection overhead the
+//     paper measures in Figs. 11–12.
+package netsim
+
+import (
+	"container/heap"
+)
+
+// Time is simulation time in picoseconds. Integer picoseconds make
+// 10 Gbps arithmetic exact (0.8 ns/byte = 800 ps/byte) and cover ~106
+// days in an int64.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a Time to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event scheduler. Events at equal times run in
+// scheduling order (deterministic).
+type Sim struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	count  int64
+}
+
+// NewSim returns a scheduler at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Sim) Events() int64 { return s.count }
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	s.count++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the time limit passes
+// (limit 0 = no limit). It returns the final simulation time.
+func (s *Sim) Run(limit Time) Time {
+	for len(s.events) > 0 {
+		if limit > 0 && s.events[0].at > limit {
+			s.now = limit
+			break
+		}
+		s.Step()
+	}
+	return s.now
+}

@@ -1,0 +1,74 @@
+package netsim
+
+// receive runs the switch pipeline on an arriving packet: forwarding
+// lookup, crossbar transfer, egress enqueue with ECN marking, and PFC
+// threshold checks.
+func (s *SimSwitch) receive(pkt *Packet) {
+	n := s.net
+	out, newTag, fwdDelay, ok := n.Fwd.Forward(s.vertex, pkt.inPort, pkt)
+	if !ok || out <= 0 || out >= len(s.outPorts) || s.outPorts[out] == nil {
+		s.Drops++
+		n.TotalDrops++
+		return
+	}
+	// The PFC class the packet arrived with (before any VC rewrite):
+	// this is what the upstream transmitted on and what a pause must
+	// name.
+	arrCls := pfcClass(pkt)
+	pkt.Tag = newTag
+	inPort := pkt.inPort
+	d := n.Cfg.SwitchLatency + fwdDelay + s.crossbar.delay(n.Sim.Now(), pkt.Size)
+	o := s.outPorts[out]
+	n.Sim.After(d, func() { s.enqueue(o, inPort, arrCls, pkt) })
+}
+
+// isData reports whether the class carries pausable data traffic.
+func isData(class int) bool { return class < ctrlClass }
+
+// enqueue places the packet on the egress queue, applying tail drop
+// (lossy mode), ECN marking, and PFC pause generation.
+func (s *SimSwitch) enqueue(o *OutPort, inPort, arrCls int, pkt *Packet) {
+	n := s.net
+	// The egress traffic class follows the packet's (possibly
+	// rewritten) VC; ingress accounting keeps the arrival class.
+	pkt.Prio = pfcClass(pkt)
+	pkt.arrClass = arrCls
+	if !n.Cfg.PFC && isData(pkt.Prio) && o.queuedBytes()+pkt.Size > n.Cfg.QueueCap {
+		o.Drops++
+		n.TotalDrops++
+		return
+	}
+	// ECN marking (RED-style ramp on egress occupancy), data class only.
+	if n.Cfg.ECN && isData(pkt.Prio) {
+		q := o.queuedBytes()
+		if q > n.Cfg.ECNKmax {
+			pkt.ECN = true
+			n.EcnMarks++
+		} else if q > n.Cfg.ECNKmin {
+			p := n.Cfg.ECNPmax * float64(q-n.Cfg.ECNKmin) / float64(n.Cfg.ECNKmax-n.Cfg.ECNKmin)
+			if n.rng.Float64() < p {
+				pkt.ECN = true
+				n.EcnMarks++
+			}
+		}
+	}
+	pkt.inPort = inPort
+	o.queues[pkt.Prio].push(pkt)
+	// PFC ingress accounting per (ingress port, arrival class): the
+	// pause frame names the class the upstream transmits.
+	if inPort > 0 && inPort < len(s.ingressBytes) {
+		s.ingressBytes[inPort][arrCls] += pkt.Size
+		if n.Cfg.PFC && isData(arrCls) && !s.pfcSent[inPort][arrCls] &&
+			s.ingressBytes[inPort][arrCls] > n.Cfg.PFCXoff {
+			s.pfcSent[inPort][arrCls] = true
+			up := s.upstream[inPort]
+			if up != nil {
+				n.PausesSent++
+				n.Sim.After(n.Cfg.PropDelay+500*Nanosecond, func() {
+					up.paused[arrCls] = true
+				})
+			}
+		}
+	}
+	n.tryTransmit(o)
+}

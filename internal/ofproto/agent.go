@@ -1,0 +1,182 @@
+package ofproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/openflow"
+)
+
+// Agent is the switch-side endpoint: it owns one openflow.Switch and
+// serves controller connections, applying FlowMods and answering
+// statistics requests — the firmware role of the commodity switch in
+// the paper's prototype.
+type Agent struct {
+	DatapathID uint64
+	Switch     *openflow.Switch
+
+	mu sync.Mutex // serialises table access across connections
+}
+
+// NewAgent wraps a switch model as a protocol agent.
+func NewAgent(dpid uint64, sw *openflow.Switch) *Agent {
+	return &Agent{DatapathID: dpid, Switch: sw}
+}
+
+// Serve handles one controller connection until EOF or error. The
+// handshake is Hello (both directions) followed by request/response.
+func (a *Agent) Serve(conn io.ReadWriter) error {
+	if err := WriteMessage(conn, TypeHello, 0, nil); err != nil {
+		return err
+	}
+	hello, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if hello.Header.Type != TypeHello {
+		return fmt.Errorf("ofproto: expected hello, got type %d", hello.Header.Type)
+	}
+	for {
+		m, err := ReadMessage(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := a.handle(conn, m); err != nil {
+			return err
+		}
+	}
+}
+
+func (a *Agent) handle(conn io.Writer, m *Message) error {
+	xid := m.Header.XID
+	switch m.Header.Type {
+	case TypeEchoRequest:
+		return WriteMessage(conn, TypeEchoReply, xid, m.Payload)
+
+	case TypeFeaturesRequest:
+		a.mu.Lock()
+		fr := FeaturesReply{
+			DatapathID: a.DatapathID,
+			NumPorts:   uint32(a.Switch.NumPorts),
+			TableCap:   uint32(a.Switch.Table.Capacity),
+		}
+		a.mu.Unlock()
+		return WriteMessage(conn, TypeFeaturesReply, xid, fr.marshal())
+
+	case TypeFlowMod:
+		fm, err := parseFlowMod(m.Payload)
+		if err != nil {
+			return writeError(conn, xid, ErrCodeBadFlow, err.Error())
+		}
+		if err := a.applyFlowMod(fm); err != nil {
+			code := ErrCodeBadFlow
+			var full *openflow.ErrTableFull
+			if errors.As(err, &full) {
+				code = ErrCodeTableFull
+			}
+			return writeError(conn, xid, code, err.Error())
+		}
+		return nil // flow mods are unacknowledged; barrier synchronises
+
+	case TypeBarrierRequest:
+		return WriteMessage(conn, TypeBarrierReply, xid, nil)
+
+	case TypeStatsRequest:
+		if len(m.Payload) < 1 {
+			return writeError(conn, xid, ErrCodeBadType, "empty stats request")
+		}
+		switch StatsKind(m.Payload[0]) {
+		case StatsPorts:
+			a.mu.Lock()
+			stats := make([]PortStat, 0, a.Switch.NumPorts)
+			for p := 1; p <= a.Switch.NumPorts; p++ {
+				c := a.Switch.Ports[p]
+				stats = append(stats, PortStat{
+					Port:      uint32(p),
+					RxPackets: c.RxPackets, TxPackets: c.TxPackets,
+					RxBytes: c.RxBytes, TxBytes: c.TxBytes, Drops: c.Drops,
+				})
+			}
+			a.mu.Unlock()
+			return WriteMessage(conn, TypeStatsReply, xid, marshalPortStats(stats))
+		case StatsTable:
+			a.mu.Lock()
+			b := make([]byte, 0, 8)
+			b = be32(b, uint32(a.Switch.Table.Len()))
+			b = be32(b, uint32(a.Switch.Table.Capacity))
+			a.mu.Unlock()
+			return WriteMessage(conn, TypeStatsReply, xid, b)
+		default:
+			return writeError(conn, xid, ErrCodeBadType, "unknown stats kind")
+		}
+
+	default:
+		return writeError(conn, xid, ErrCodeBadType, fmt.Sprintf("unsupported type %d", m.Header.Type))
+	}
+}
+
+func (a *Agent) applyFlowMod(fm *FlowMod) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch fm.Command {
+	case FlowAdd:
+		entry := openflow.FlowEntry{
+			Priority: int(fm.Priority),
+			Cookie:   fm.Cookie,
+			Match: openflow.Match{
+				InPort:  int(fm.InPort),
+				SrcHost: int(fm.SrcHost),
+				DstHost: int(fm.DstHost),
+				Tag:     int(fm.Tag),
+				Proto:   int(fm.Proto),
+			},
+		}
+		for _, a := range fm.Actions {
+			switch a.Type {
+			case WireOutput:
+				entry.Actions = append(entry.Actions, openflow.Action{Type: openflow.Output, Port: int(a.Arg)})
+			case WireSetTag:
+				entry.Actions = append(entry.Actions, openflow.Action{Type: openflow.SetTag, Tag: int(a.Arg)})
+			case WireDrop:
+				entry.Actions = append(entry.Actions, openflow.Action{Type: openflow.Drop})
+			default:
+				return fmt.Errorf("ofproto: unknown action type %d", a.Type)
+			}
+		}
+		return a.Switch.Table.Add(entry)
+	case FlowDeleteCookie:
+		a.Switch.Table.RemoveCookie(fm.Cookie)
+		return nil
+	case FlowClear:
+		a.Switch.Table.Clear()
+		return nil
+	default:
+		return fmt.Errorf("ofproto: unknown flow-mod command %d", fm.Command)
+	}
+}
+
+func writeError(conn io.Writer, xid uint32, code uint16, text string) error {
+	e := ErrorMsg{Code: code, Text: text}
+	return WriteMessage(conn, TypeError, xid, e.marshal())
+}
+
+// ListenAndServe accepts controller connections on l, one goroutine
+// each, until the listener closes.
+func (a *Agent) ListenAndServe(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = a.Serve(conn)
+		}()
+	}
+}

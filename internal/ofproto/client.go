@@ -1,0 +1,193 @@
+package ofproto
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/openflow"
+)
+
+// Client is the controller-side endpoint for one switch agent.
+type Client struct {
+	conn     io.ReadWriter
+	features *FeaturesReply
+	nextXID  uint32
+}
+
+// Connect performs the Hello handshake and features discovery on an
+// established connection. The agent speaks first; reading its Hello
+// before sending ours keeps the handshake deadlock-free even over
+// fully synchronous transports (net.Pipe).
+func Connect(conn io.ReadWriter) (*Client, error) {
+	c := &Client{conn: conn}
+	hello, err := ReadMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	if hello.Header.Type != TypeHello {
+		return nil, fmt.Errorf("ofproto: expected hello, got type %d", hello.Header.Type)
+	}
+	if err := WriteMessage(conn, TypeHello, c.xid(), nil); err != nil {
+		return nil, err
+	}
+	fxid := c.xid()
+	if err := WriteMessage(conn, TypeFeaturesRequest, fxid, nil); err != nil {
+		return nil, err
+	}
+	m, err := c.readReply(TypeFeaturesReply, fxid)
+	if err != nil {
+		return nil, err
+	}
+	c.features, err = parseFeaturesReply(m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) xid() uint32 { c.nextXID++; return c.nextXID }
+
+// readReply reads until the reply matching (want, xid) arrives,
+// converting remote errors and discarding stale replies from earlier
+// exchanges that already failed (replies are strictly ordered, so a
+// mismatched XID can only belong to a superseded request).
+func (c *Client) readReply(want MsgType, xid uint32) (*Message, error) {
+	for {
+		m, err := ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case m.Header.Type == want && m.Header.XID == xid:
+			return m, nil
+		case m.Header.Type == TypeError:
+			return nil, parseError(m.Payload)
+		case m.Header.Type == TypeEchoRequest:
+			if err := WriteMessage(c.conn, TypeEchoReply, m.Header.XID, m.Payload); err != nil {
+				return nil, err
+			}
+		case m.Header.XID < xid:
+			// Stale reply to a superseded request; skip.
+		default:
+			return nil, fmt.Errorf("ofproto: unexpected type %d xid %d (want %d/%d)",
+				m.Header.Type, m.Header.XID, want, xid)
+		}
+	}
+}
+
+// Features returns the agent's advertised capabilities.
+func (c *Client) Features() FeaturesReply { return *c.features }
+
+// Echo round-trips an opaque payload (liveness probe).
+func (c *Client) Echo(payload []byte) error {
+	xid := c.xid()
+	if err := WriteMessage(c.conn, TypeEchoRequest, xid, payload); err != nil {
+		return err
+	}
+	m, err := c.readReply(TypeEchoReply, xid)
+	if err != nil {
+		return err
+	}
+	if string(m.Payload) != string(payload) {
+		return fmt.Errorf("ofproto: echo mismatch")
+	}
+	return nil
+}
+
+// InstallEntry sends one FlowAdd for an openflow entry.
+func (c *Client) InstallEntry(e *openflow.FlowEntry) error {
+	fm := FlowMod{
+		Command:  FlowAdd,
+		Cookie:   e.Cookie,
+		Priority: int32(e.Priority),
+		InPort:   int32(e.Match.InPort),
+		SrcHost:  int32(e.Match.SrcHost),
+		DstHost:  int32(e.Match.DstHost),
+		Tag:      int32(e.Match.Tag),
+		Proto:    int32(e.Match.Proto),
+	}
+	for _, a := range e.Actions {
+		switch a.Type {
+		case openflow.Output:
+			fm.Actions = append(fm.Actions, FlowAction{Type: WireOutput, Arg: int32(a.Port)})
+		case openflow.SetTag:
+			fm.Actions = append(fm.Actions, FlowAction{Type: WireSetTag, Arg: int32(a.Tag)})
+		case openflow.Drop:
+			fm.Actions = append(fm.Actions, FlowAction{Type: WireDrop})
+		}
+	}
+	return WriteMessage(c.conn, TypeFlowMod, c.xid(), fm.marshal())
+}
+
+// InstallTable pushes every entry of a compiled switch table, followed
+// by a barrier so errors (e.g. table-full) surface before return —
+// the deployment function's bulk path.
+func (c *Client) InstallTable(sw *openflow.Switch) error {
+	for _, e := range sw.Table.Entries() {
+		if err := c.InstallEntry(e); err != nil {
+			return err
+		}
+	}
+	return c.Barrier()
+}
+
+// RemoveCookie deletes all entries of one deployment.
+func (c *Client) RemoveCookie(cookie uint64) error {
+	fm := FlowMod{Command: FlowDeleteCookie, Cookie: cookie}
+	if err := WriteMessage(c.conn, TypeFlowMod, c.xid(), fm.marshal()); err != nil {
+		return err
+	}
+	return c.Barrier()
+}
+
+// Clear empties the remote table.
+func (c *Client) Clear() error {
+	fm := FlowMod{Command: FlowClear}
+	if err := WriteMessage(c.conn, TypeFlowMod, c.xid(), fm.marshal()); err != nil {
+		return err
+	}
+	return c.Barrier()
+}
+
+// Barrier blocks until all preceding messages are processed; a remote
+// error raised by any of them is returned here.
+func (c *Client) Barrier() error {
+	xid := c.xid()
+	if err := WriteMessage(c.conn, TypeBarrierRequest, xid, nil); err != nil {
+		return err
+	}
+	_, err := c.readReply(TypeBarrierReply, xid)
+	return err
+}
+
+// PortStats polls the agent's port counters (Network Monitor).
+func (c *Client) PortStats() ([]PortStat, error) {
+	xid := c.xid()
+	if err := WriteMessage(c.conn, TypeStatsRequest, xid, []byte{byte(StatsPorts)}); err != nil {
+		return nil, err
+	}
+	m, err := c.readReply(TypeStatsReply, xid)
+	if err != nil {
+		return nil, err
+	}
+	return parsePortStats(m.Payload)
+}
+
+// TableStats polls flow-table occupancy (§VII-C's resource check).
+func (c *Client) TableStats() (*TableStat, error) {
+	xid := c.xid()
+	if err := WriteMessage(c.conn, TypeStatsRequest, xid, []byte{byte(StatsTable)}); err != nil {
+		return nil, err
+	}
+	m, err := c.readReply(TypeStatsReply, xid)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Payload) < 8 {
+		return nil, fmt.Errorf("ofproto: short table stats")
+	}
+	return &TableStat{
+		Entries:  uint32(m.Payload[0])<<24 | uint32(m.Payload[1])<<16 | uint32(m.Payload[2])<<8 | uint32(m.Payload[3]),
+		Capacity: uint32(m.Payload[4])<<24 | uint32(m.Payload[5])<<16 | uint32(m.Payload[6])<<8 | uint32(m.Payload[7]),
+	}, nil
+}

@@ -1,0 +1,170 @@
+package ofproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/openflow"
+)
+
+// Failure injection: the agent and parsers must reject malformed input
+// without panicking or corrupting switch state.
+
+func TestReadMessageTruncatedHeader(t *testing.T) {
+	for n := 0; n < headerLen; n++ {
+		buf := bytes.NewBuffer(make([]byte, n))
+		if _, err := ReadMessage(buf); err == nil {
+			t.Errorf("truncated header (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestReadMessageTruncatedPayload(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteMessage(&full, TypeEchoRequest, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := headerLen; cut < len(raw); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncated payload (%d of %d bytes) accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestReadMessageLengthSmallerThanHeader(t *testing.T) {
+	raw := make([]byte, headerLen)
+	raw[0] = Version
+	binary.BigEndian.PutUint16(raw[2:4], 4) // < headerLen
+	if _, err := ReadMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("undersized length accepted")
+	}
+}
+
+func TestParseFlowModGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		make([]byte, 10),
+		// Fixed part with absurd action count.
+		func() []byte {
+			fm := FlowMod{Command: FlowAdd}
+			b := fm.marshal()
+			binary.BigEndian.PutUint32(b[len(b)-4:], 1<<30)
+			return b
+		}(),
+	}
+	for i, p := range cases {
+		if _, err := parseFlowMod(p); err == nil {
+			t.Errorf("case %d: garbage flow mod accepted", i)
+		}
+	}
+}
+
+func TestParsePortStatsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0, 0},
+		func() []byte { // count says 5, body has 1
+			b := marshalPortStats([]PortStat{{Port: 1}})
+			binary.BigEndian.PutUint32(b[0:4], 5)
+			return b
+		}(),
+	}
+	for i, p := range cases {
+		if _, err := parsePortStats(p); err == nil {
+			t.Errorf("case %d: garbage port stats accepted", i)
+		}
+	}
+}
+
+func TestWriteMessageTooLarge(t *testing.T) {
+	if err := WriteMessage(io.Discard, TypeEchoRequest, 1, make([]byte, maxMsgLen)); err == nil {
+		t.Error("oversize message accepted")
+	}
+}
+
+func TestAgentSurvivesBadFlowModOverWire(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 4, 0)
+	c := pipePair(t, sw)
+	// Hand-craft a FlowMod with an unknown action type.
+	fm := FlowMod{Command: FlowAdd, Actions: []FlowAction{{Type: 99, Arg: 1}}}
+	if err := WriteMessage(connOf(c), TypeFlowMod, 1, fm.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Barrier()
+	if err == nil {
+		t.Fatal("bad action accepted")
+	}
+	// The connection and switch stay usable.
+	if err := c.Echo([]byte("still alive")); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+	if sw.Table.Len() != 0 {
+		t.Errorf("bad flow mod left %d entries", sw.Table.Len())
+	}
+}
+
+func TestAgentRejectsUnknownMessageType(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 4, 0)
+	c := pipePair(t, sw)
+	if err := WriteMessage(connOf(c), MsgType(200), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err == nil {
+		t.Error("unknown type not reported")
+	}
+	if err := c.Echo([]byte("x")); err != nil {
+		t.Fatalf("connection dead: %v", err)
+	}
+}
+
+func TestAgentUnknownFlowModCommand(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 4, 0)
+	c := pipePair(t, sw)
+	fm := FlowMod{Command: FlowModCommand(77)}
+	if err := WriteMessage(connOf(c), TypeFlowMod, 1, fm.marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestAgentClosesCleanOnEOF(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 4, 0)
+	agent := NewAgent(1, sw)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- agent.Serve(conn)
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = client
+	conn.Close()
+	if err := <-done; err != nil && err != io.EOF {
+		t.Errorf("Serve returned %v on clean close", err)
+	}
+}
+
+// connOf exposes the client's transport for raw injections.
+func connOf(c *Client) io.ReadWriter { return c.conn }

@@ -1,0 +1,318 @@
+// Package ofproto implements the controller-to-switch wire protocol of
+// the SDT prototype: an OpenFlow-1.3-style binary message layer over
+// TCP. The paper's controller is built on Ryu talking to commodity
+// OpenFlow switches (§V); this package provides the equivalent
+// channel so the SDT controller can drive *remote* switch agents —
+// handshake, flow-mod installation with barriers, cookie-based
+// removal, and the port/table statistics the Network Monitor polls.
+//
+// The framing follows OpenFlow conventions (fixed 8-byte header with
+// version/type/length/xid, big-endian), with a compact match/action
+// encoding mirroring internal/openflow's model.
+package ofproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is this protocol's version byte (0x04 = OpenFlow 1.3's wire
+// version, kept for familiarity).
+const Version = 0x04
+
+// MsgType enumerates message types (values follow OpenFlow 1.3 where a
+// counterpart exists).
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypeFlowMod         MsgType = 14
+	TypeBarrierRequest  MsgType = 20
+	TypeBarrierReply    MsgType = 21
+	TypeStatsRequest    MsgType = 18
+	TypeStatsReply      MsgType = 19
+)
+
+// Header is the fixed OpenFlow message header.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16 // total message length including header
+	XID     uint32
+}
+
+const headerLen = 8
+
+// maxMsgLen bounds a message (headroom over the uint16 length field).
+const maxMsgLen = 1 << 16
+
+// Message is a decoded wire message: header plus raw payload.
+type Message struct {
+	Header  Header
+	Payload []byte
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, t MsgType, xid uint32, payload []byte) error {
+	if headerLen+len(payload) > maxMsgLen {
+		return fmt.Errorf("ofproto: message too large (%d bytes)", len(payload))
+	}
+	var hdr [headerLen]byte
+	hdr[0] = Version
+	hdr[1] = byte(t)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(headerLen+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], xid)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	m := &Message{Header: Header{
+		Version: hdr[0],
+		Type:    MsgType(hdr[1]),
+		Length:  binary.BigEndian.Uint16(hdr[2:4]),
+		XID:     binary.BigEndian.Uint32(hdr[4:8]),
+	}}
+	if m.Header.Version != Version {
+		return nil, fmt.Errorf("ofproto: unsupported version 0x%02x", m.Header.Version)
+	}
+	if m.Header.Length < headerLen {
+		return nil, fmt.Errorf("ofproto: bad length %d", m.Header.Length)
+	}
+	if n := int(m.Header.Length) - headerLen; n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// FeaturesReply describes a switch agent.
+type FeaturesReply struct {
+	DatapathID uint64
+	NumPorts   uint32
+	TableCap   uint32
+}
+
+func (f *FeaturesReply) marshal() []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b[0:8], f.DatapathID)
+	binary.BigEndian.PutUint32(b[8:12], f.NumPorts)
+	binary.BigEndian.PutUint32(b[12:16], f.TableCap)
+	return b
+}
+
+func parseFeaturesReply(p []byte) (*FeaturesReply, error) {
+	if len(p) < 16 {
+		return nil, fmt.Errorf("ofproto: short features reply (%d bytes)", len(p))
+	}
+	return &FeaturesReply{
+		DatapathID: binary.BigEndian.Uint64(p[0:8]),
+		NumPorts:   binary.BigEndian.Uint32(p[8:12]),
+		TableCap:   binary.BigEndian.Uint32(p[12:16]),
+	}, nil
+}
+
+// FlowModCommand selects the FlowMod operation.
+type FlowModCommand uint8
+
+// FlowMod commands.
+const (
+	FlowAdd FlowModCommand = iota
+	// FlowDeleteCookie removes all entries with the given cookie.
+	FlowDeleteCookie
+	// FlowClear removes everything.
+	FlowClear
+)
+
+// FlowMod installs or removes flow entries.
+type FlowMod struct {
+	Command  FlowModCommand
+	Cookie   uint64
+	Priority int32
+	// Match fields; -1 wildcards SrcHost/DstHost/Tag, 0 wildcards
+	// InPort/Proto (mirroring internal/openflow).
+	InPort, SrcHost, DstHost, Tag, Proto int32
+	Actions                              []FlowAction
+}
+
+// FlowActionType mirrors openflow.ActionType on the wire.
+type FlowActionType uint8
+
+// Wire action types.
+const (
+	WireOutput FlowActionType = iota
+	WireSetTag
+	WireDrop
+)
+
+// FlowAction is one action in a FlowMod.
+type FlowAction struct {
+	Type FlowActionType
+	Arg  int32 // port for Output, tag for SetTag
+}
+
+func (fm *FlowMod) marshal() []byte {
+	b := make([]byte, 0, 40+5*len(fm.Actions))
+	b = append(b, byte(fm.Command))
+	b = be64(b, fm.Cookie)
+	b = be32(b, uint32(fm.Priority))
+	for _, v := range []int32{fm.InPort, fm.SrcHost, fm.DstHost, fm.Tag, fm.Proto} {
+		b = be32(b, uint32(v))
+	}
+	b = be32(b, uint32(len(fm.Actions)))
+	for _, a := range fm.Actions {
+		b = append(b, byte(a.Type))
+		b = be32(b, uint32(a.Arg))
+	}
+	return b
+}
+
+func parseFlowMod(p []byte) (*FlowMod, error) {
+	const fixed = 1 + 8 + 4 + 5*4 + 4
+	if len(p) < fixed {
+		return nil, fmt.Errorf("ofproto: short flow mod (%d bytes)", len(p))
+	}
+	fm := &FlowMod{Command: FlowModCommand(p[0])}
+	fm.Cookie = binary.BigEndian.Uint64(p[1:9])
+	fm.Priority = int32(binary.BigEndian.Uint32(p[9:13]))
+	off := 13
+	dst := []*int32{&fm.InPort, &fm.SrcHost, &fm.DstHost, &fm.Tag, &fm.Proto}
+	for _, d := range dst {
+		*d = int32(binary.BigEndian.Uint32(p[off : off+4]))
+		off += 4
+	}
+	n := int(binary.BigEndian.Uint32(p[off : off+4]))
+	off += 4
+	if n < 0 || n > 64 || len(p) < off+5*n {
+		return nil, fmt.Errorf("ofproto: bad action count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		fm.Actions = append(fm.Actions, FlowAction{
+			Type: FlowActionType(p[off]),
+			Arg:  int32(binary.BigEndian.Uint32(p[off+1 : off+5])),
+		})
+		off += 5
+	}
+	return fm, nil
+}
+
+// StatsKind selects a statistics request.
+type StatsKind uint8
+
+// Statistics kinds.
+const (
+	StatsPorts StatsKind = iota
+	StatsTable
+)
+
+// PortStat is one port's counters in a stats reply.
+type PortStat struct {
+	Port                 uint32
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+	Drops                uint64
+}
+
+// TableStat reports flow-table occupancy.
+type TableStat struct {
+	Entries  uint32
+	Capacity uint32
+}
+
+func marshalPortStats(stats []PortStat) []byte {
+	b := make([]byte, 0, 4+44*len(stats))
+	b = be32(b, uint32(len(stats)))
+	for _, s := range stats {
+		b = be32(b, s.Port)
+		for _, v := range []uint64{s.RxPackets, s.TxPackets, s.RxBytes, s.TxBytes, s.Drops} {
+			b = be64(b, v)
+		}
+	}
+	return b
+}
+
+func parsePortStats(p []byte) ([]PortStat, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("ofproto: short port stats")
+	}
+	n := int(binary.BigEndian.Uint32(p[0:4]))
+	const rec = 4 + 5*8
+	if n < 0 || len(p) < 4+n*rec {
+		return nil, fmt.Errorf("ofproto: bad port stats count %d", n)
+	}
+	out := make([]PortStat, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		s := PortStat{Port: binary.BigEndian.Uint32(p[off : off+4])}
+		off += 4
+		for _, d := range []*uint64{&s.RxPackets, &s.TxPackets, &s.RxBytes, &s.TxBytes, &s.Drops} {
+			*d = binary.BigEndian.Uint64(p[off : off+8])
+			off += 8
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ErrorMsg is the wire error report.
+type ErrorMsg struct {
+	Code uint16
+	Text string
+}
+
+// Error codes.
+const (
+	ErrCodeTableFull uint16 = 1
+	ErrCodeBadFlow   uint16 = 2
+	ErrCodeBadType   uint16 = 3
+)
+
+func (e *ErrorMsg) Error() string {
+	return fmt.Sprintf("ofproto: remote error %d: %s", e.Code, e.Text)
+}
+
+func (e *ErrorMsg) marshal() []byte {
+	b := make([]byte, 2, 2+len(e.Text))
+	binary.BigEndian.PutUint16(b, e.Code)
+	return append(b, e.Text...)
+}
+
+func parseError(p []byte) *ErrorMsg {
+	if len(p) < 2 {
+		return &ErrorMsg{Code: 0, Text: "malformed error"}
+	}
+	return &ErrorMsg{Code: binary.BigEndian.Uint16(p[0:2]), Text: string(p[2:])}
+}
+
+func be32(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.BigEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+
+func be64(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}

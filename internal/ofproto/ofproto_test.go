@@ -1,0 +1,320 @@
+package ofproto
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/openflow"
+	"repro/internal/partition"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello sdt")
+	if err := WriteMessage(&buf, TypeEchoRequest, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Type != TypeEchoRequest || m.Header.XID != 42 {
+		t.Errorf("header = %+v", m.Header)
+	}
+	if string(m.Payload) != string(payload) {
+		t.Errorf("payload = %q", m.Payload)
+	}
+}
+
+func TestMessageBadVersion(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0x99, 0, 0, 8, 0, 0, 0, 1})
+	if _, err := ReadMessage(buf); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	fm := &FlowMod{
+		Command: FlowAdd, Cookie: 0xdeadbeef, Priority: 20,
+		InPort: 3, SrcHost: -1, DstHost: 77, Tag: 5, Proto: 0,
+		Actions: []FlowAction{{Type: WireSetTag, Arg: 9}, {Type: WireOutput, Arg: 12}},
+	}
+	got, err := parseFlowMod(fm.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cookie != fm.Cookie || got.Priority != fm.Priority ||
+		got.InPort != fm.InPort || got.SrcHost != fm.SrcHost ||
+		got.DstHost != fm.DstHost || got.Tag != fm.Tag {
+		t.Errorf("round trip changed fields: %+v vs %+v", got, fm)
+	}
+	if len(got.Actions) != 2 || got.Actions[0] != fm.Actions[0] || got.Actions[1] != fm.Actions[1] {
+		t.Errorf("actions changed: %+v", got.Actions)
+	}
+}
+
+// Property: FlowMod marshal/parse is lossless for arbitrary fields.
+func TestQuickFlowModRoundTrip(t *testing.T) {
+	f := func(cookie uint64, prio int16, inPort uint8, dst int32, tag int8, nAct uint8) bool {
+		fm := &FlowMod{
+			Command: FlowAdd, Cookie: cookie, Priority: int32(prio),
+			InPort: int32(inPort), SrcHost: -1, DstHost: dst, Tag: int32(tag),
+		}
+		for i := 0; i < int(nAct%5); i++ {
+			fm.Actions = append(fm.Actions, FlowAction{Type: WireOutput, Arg: int32(i)})
+		}
+		got, err := parseFlowMod(fm.marshal())
+		if err != nil {
+			return false
+		}
+		if got.Cookie != fm.Cookie || got.Priority != fm.Priority || got.DstHost != fm.DstHost ||
+			got.Tag != fm.Tag || len(got.Actions) != len(fm.Actions) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortStatsRoundTrip(t *testing.T) {
+	in := []PortStat{
+		{Port: 1, RxPackets: 10, TxPackets: 20, RxBytes: 1000, TxBytes: 2000, Drops: 3},
+		{Port: 2, RxPackets: 99},
+	}
+	got, err := parsePortStats(marshalPortStats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Errorf("round trip changed stats: %+v", got)
+	}
+}
+
+// pipePair connects an agent and a client over loopback TCP (the
+// transport the protocol is designed for; fully synchronous in-memory
+// pipes would deadlock on unsolicited error writes, as real OpenFlow
+// over TCP does not).
+func pipePair(t *testing.T, sw *openflow.Switch) *Client {
+	t.Helper()
+	agent := NewAgent(7, sw)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = agent.ListenAndServe(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close(); l.Close() })
+	return client
+}
+
+func TestHandshakeAndFeatures(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 48, 1000)
+	c := pipePair(t, sw)
+	f := c.Features()
+	if f.DatapathID != 7 || f.NumPorts != 48 || f.TableCap != 1000 {
+		t.Errorf("features = %+v", f)
+	}
+	if err := c.Echo([]byte("ping")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstallAndRemoveOverWire(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 8, 0)
+	c := pipePair(t, sw)
+	e := &openflow.FlowEntry{
+		Priority: 10, Cookie: 5,
+		Match:   openflow.Match{InPort: 1, SrcHost: openflow.Any, DstHost: 42, Tag: openflow.Any},
+		Actions: []openflow.Action{{Type: openflow.SetTag, Tag: 3}, {Type: openflow.Output, Port: 4}},
+	}
+	if err := c.InstallEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Table.Len() != 1 {
+		t.Fatalf("remote table len = %d", sw.Table.Len())
+	}
+	fwd := sw.Process(openflow.PacketMeta{InPort: 1, DstHost: 42, Bytes: 100})
+	if !fwd.Matched || fwd.OutPort != 4 || fwd.Tag != 3 {
+		t.Errorf("forwarding through wire-installed entry: %+v", fwd)
+	}
+	if err := c.RemoveCookie(5); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Table.Len() != 0 {
+		t.Errorf("cookie removal left %d entries", sw.Table.Len())
+	}
+}
+
+func TestTableFullSurfacesAtBarrier(t *testing.T) {
+	sw := openflow.NewSwitch("tiny", 4, 1)
+	c := pipePair(t, sw)
+	e := &openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll, Actions: []openflow.Action{{Type: openflow.Drop}}}
+	if err := c.InstallEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Barrier()
+	if err == nil {
+		t.Fatal("table overflow not reported")
+	}
+	if !strings.Contains(err.Error(), "full") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPortAndTableStats(t *testing.T) {
+	sw := openflow.NewSwitch("s1", 4, 100)
+	_ = sw.Table.Add(openflow.FlowEntry{Priority: 1, Match: openflow.MatchAll,
+		Actions: []openflow.Action{{Type: openflow.Output, Port: 2}}})
+	sw.Process(openflow.PacketMeta{InPort: 1, Bytes: 500})
+	c := pipePair(t, sw)
+	stats, err := c.PortStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("ports = %d", len(stats))
+	}
+	if stats[0].RxBytes != 500 || stats[1].TxBytes != 500 {
+		t.Errorf("counters = %+v", stats[:2])
+	}
+	ts, err := c.TableStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Entries != 1 || ts.Capacity != 100 {
+		t.Errorf("table stats = %+v", ts)
+	}
+}
+
+// TestDeployFatTreeOverTCP pushes a full compiled SDT deployment to
+// remote agents over real TCP sockets and verifies packets forward
+// through the remotely installed tables — the paper's controller-to-
+// switch path end to end.
+func TestDeployFatTreeOverTCP(t *testing.T) {
+	g := topology.FatTree(4)
+	switches := []projection.PhysicalSwitch{
+		projection.Commodity64("a"), projection.Commodity64("b"), projection.Commodity64("c"),
+	}
+	cab, err := projection.PlanCabling(switches, []*topology.Graph{g}, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := projection.Project(g, cab, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.FatTreeDFS{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := projection.CompileFlowTables(plan, routes, projection.CompileOptions{Cookie: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote side: empty switches behind TCP agents.
+	remote := make([]*openflow.Switch, len(switches))
+	clients := make([]*Client, len(switches))
+	for i, spec := range switches {
+		remote[i] = openflow.NewSwitch(spec.ID, spec.Ports, spec.TableCap)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent := NewAgent(uint64(i+1), remote[i])
+		go func() { _ = agent.ListenAndServe(l) }()
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close(); l.Close() })
+		clients[i], err = Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, sw := range compiled {
+		if err := clients[i].InstallTable(sw); err != nil {
+			t.Fatalf("switch %d: %v", i, err)
+		}
+	}
+	for i := range compiled {
+		if remote[i].Table.Len() != compiled[i].Table.Len() {
+			t.Errorf("switch %d: remote %d entries, local %d", i, remote[i].Table.Len(), compiled[i].Table.Len())
+		}
+	}
+	// Walk a packet host->host through the REMOTE tables.
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[15]
+	ref := plan.HostAttach[src]
+	tag := 0
+	delivered := false
+	for hop := 0; hop < 32; hop++ {
+		fwd := remote[ref.Switch].Process(openflow.PacketMeta{
+			InPort: ref.Port, SrcHost: src, DstHost: dst, Tag: tag, Bytes: 800,
+		})
+		if !fwd.Matched || fwd.Dropped {
+			t.Fatalf("hop %d: dropped", hop)
+		}
+		tag = fwd.Tag
+		out := projection.PortRef{Switch: ref.Switch, Port: fwd.OutPort}
+		if out == plan.HostAttach[dst] {
+			delivered = true
+			break
+		}
+		nxt, ok := plan.CableAt(out)
+		if !ok {
+			t.Fatalf("dangling port %v", out)
+		}
+		ref = nxt
+	}
+	if !delivered {
+		t.Fatal("packet not delivered through remote tables")
+	}
+	// Tear down by cookie over the wire.
+	for _, c := range clients {
+		if err := c.RemoveCookie(9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range remote {
+		if remote[i].Table.Len() != 0 {
+			t.Errorf("switch %d not empty after teardown", i)
+		}
+	}
+}
+
+func BenchmarkFlowModMarshal(b *testing.B) {
+	fm := &FlowMod{
+		Command: FlowAdd, Cookie: 1, Priority: 10,
+		InPort: 1, SrcHost: -1, DstHost: 42, Tag: 0,
+		Actions: []FlowAction{{Type: WireSetTag, Arg: 3}, {Type: WireOutput, Arg: 4}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseFlowMod(fm.marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

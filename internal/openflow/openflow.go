@@ -1,0 +1,317 @@
+// Package openflow is the commodity-OpenFlow-switch substrate SDT
+// projects onto.
+//
+// It models exactly the switch features the paper's prototype depends
+// on (§V, §VII-B): priority-ordered flow tables with wildcardable
+// matches on ingress port and packet header fields, output/set-tag/drop
+// actions, a bounded table capacity (§VII-C's key resource), and
+// per-port counters for the Network Monitor module. The flow tables
+// both restrict forwarding to sub-switch domains (the essence of SDT's
+// Link Projection) and realise routing strategies.
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Any is the wildcard value for match fields.
+const Any = -1
+
+// Match selects packets. Fields set to Any match everything; InPort 0
+// means any ingress port (ports are numbered from 1).
+type Match struct {
+	InPort  int // physical ingress port; 0 = any
+	SrcHost int // source endpoint ID; Any = wildcard
+	DstHost int // destination endpoint ID; Any = wildcard
+	Tag     int // VLAN-style tag carrying the virtual channel; Any = wildcard
+	Proto   int // protocol/traffic class; 0 = any
+}
+
+// MatchAll is the fully wildcarded match.
+var MatchAll = Match{InPort: 0, SrcHost: Any, DstHost: Any, Tag: Any, Proto: 0}
+
+// Covers reports whether m matches packet metadata p.
+func (m Match) Covers(p PacketMeta) bool {
+	if m.InPort != 0 && m.InPort != p.InPort {
+		return false
+	}
+	if m.SrcHost != Any && m.SrcHost != p.SrcHost {
+		return false
+	}
+	if m.DstHost != Any && m.DstHost != p.DstHost {
+		return false
+	}
+	if m.Tag != Any && m.Tag != p.Tag {
+		return false
+	}
+	if m.Proto != 0 && m.Proto != p.Proto {
+		return false
+	}
+	return true
+}
+
+// String renders the match compactly for dumps.
+func (m Match) String() string {
+	var parts []string
+	if m.InPort != 0 {
+		parts = append(parts, fmt.Sprintf("in:%d", m.InPort))
+	}
+	if m.SrcHost != Any {
+		parts = append(parts, fmt.Sprintf("src:%d", m.SrcHost))
+	}
+	if m.DstHost != Any {
+		parts = append(parts, fmt.Sprintf("dst:%d", m.DstHost))
+	}
+	if m.Tag != Any {
+		parts = append(parts, fmt.Sprintf("tag:%d", m.Tag))
+	}
+	if m.Proto != 0 {
+		parts = append(parts, fmt.Sprintf("proto:%d", m.Proto))
+	}
+	if len(parts) == 0 {
+		return "*"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ActionType enumerates flow actions.
+type ActionType int
+
+const (
+	// Output forwards the packet out of Action.Port.
+	Output ActionType = iota
+	// SetTag rewrites the packet tag (used for VC transitions) and is
+	// followed by further actions in the same entry.
+	SetTag
+	// Drop discards the packet.
+	Drop
+)
+
+// Action is one element of an entry's action list.
+type Action struct {
+	Type ActionType
+	Port int // for Output
+	Tag  int // for SetTag
+}
+
+func (a Action) String() string {
+	switch a.Type {
+	case Output:
+		return fmt.Sprintf("output:%d", a.Port)
+	case SetTag:
+		return fmt.Sprintf("set_tag:%d", a.Tag)
+	default:
+		return "drop"
+	}
+}
+
+// FlowEntry is one row of a flow table. Higher Priority wins; among
+// equal priorities the earliest-installed entry wins (stable order).
+type FlowEntry struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	Cookie   uint64 // controller-assigned grouping ID (per logical topology)
+
+	// Counters, maintained by Switch.Process.
+	Packets uint64
+	Bytes   uint64
+
+	seq int // install order for stable tie-breaking
+}
+
+func (e *FlowEntry) String() string {
+	acts := make([]string, len(e.Actions))
+	for i, a := range e.Actions {
+		acts[i] = a.String()
+	}
+	return fmt.Sprintf("prio=%d match=[%s] actions=[%s]", e.Priority, e.Match, strings.Join(acts, ","))
+}
+
+// ErrTableFull is returned when an install would exceed capacity —
+// §VII-C's failure mode the controller must check for.
+type ErrTableFull struct {
+	Switch   string
+	Capacity int
+}
+
+func (e *ErrTableFull) Error() string {
+	return fmt.Sprintf("openflow: switch %s flow table full (capacity %d)", e.Switch, e.Capacity)
+}
+
+// Table is a capacity-bounded, priority-ordered flow table.
+type Table struct {
+	Capacity int // 0 = unlimited
+	entries  []*FlowEntry
+	nextSeq  int
+	owner    string
+}
+
+// Len reports the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Free reports remaining capacity (MaxInt if unlimited).
+func (t *Table) Free() int {
+	if t.Capacity == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return t.Capacity - len(t.entries)
+}
+
+// Add installs an entry, keeping priority order. It fails with
+// *ErrTableFull when capacity is exhausted.
+func (t *Table) Add(e FlowEntry) error {
+	if t.Capacity > 0 && len(t.entries) >= t.Capacity {
+		return &ErrTableFull{Switch: t.owner, Capacity: t.Capacity}
+	}
+	e.seq = t.nextSeq
+	t.nextSeq++
+	ne := e
+	t.entries = append(t.entries, &ne)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+	return nil
+}
+
+// RemoveCookie deletes all entries with the given cookie and returns
+// how many were removed. The controller uses cookies to tear down one
+// logical topology without disturbing others sharing the switch.
+func (t *Table) RemoveCookie(cookie uint64) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Cookie == cookie {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	return removed
+}
+
+// Clear removes all entries.
+func (t *Table) Clear() { t.entries = nil }
+
+// Lookup returns the highest-priority entry covering p, or nil.
+func (t *Table) Lookup(p PacketMeta) *FlowEntry {
+	for _, e := range t.entries {
+		if e.Match.Covers(p) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Entries returns the installed entries in match order (highest
+// priority first). The slice is shared; callers must not mutate it.
+func (t *Table) Entries() []*FlowEntry { return t.entries }
+
+// PacketMeta is the header metadata a switch matches on.
+type PacketMeta struct {
+	InPort  int
+	SrcHost int
+	DstHost int
+	Tag     int
+	Proto   int
+	Bytes   int
+}
+
+// PortCounter accumulates per-port statistics for the Network Monitor.
+type PortCounter struct {
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+	Drops                uint64
+}
+
+// Forwarding is the result of processing a packet.
+type Forwarding struct {
+	Matched bool
+	Dropped bool
+	OutPort int
+	Tag     int // possibly rewritten
+}
+
+// Switch is an OpenFlow switch: numbered ports 1..NumPorts, one flow
+// table, per-port counters.
+type Switch struct {
+	ID       string
+	NumPorts int
+	Table    Table
+	Ports    []PortCounter // index 0 unused; 1..NumPorts
+}
+
+// NewSwitch builds a switch with the given port count and flow table
+// capacity (0 = unlimited).
+func NewSwitch(id string, ports, tableCap int) *Switch {
+	s := &Switch{ID: id, NumPorts: ports, Ports: make([]PortCounter, ports+1)}
+	s.Table.Capacity = tableCap
+	s.Table.owner = id
+	return s
+}
+
+// Process runs the table pipeline on one packet: counts it on the
+// ingress port, finds the matching entry, applies SetTag actions, and
+// returns the forwarding decision. Unmatched packets are dropped (the
+// default table-miss behaviour the SDT prototype installs, preserving
+// hardware isolation between co-hosted topologies).
+func (s *Switch) Process(p PacketMeta) Forwarding {
+	if p.InPort >= 1 && p.InPort <= s.NumPorts {
+		s.Ports[p.InPort].RxPackets++
+		s.Ports[p.InPort].RxBytes += uint64(p.Bytes)
+	}
+	e := s.Table.Lookup(p)
+	if e == nil {
+		if p.InPort >= 1 && p.InPort <= s.NumPorts {
+			s.Ports[p.InPort].Drops++
+		}
+		return Forwarding{}
+	}
+	e.Packets++
+	e.Bytes += uint64(p.Bytes)
+	fwd := Forwarding{Matched: true, Tag: p.Tag, OutPort: 0}
+	for _, a := range e.Actions {
+		switch a.Type {
+		case SetTag:
+			fwd.Tag = a.Tag
+		case Output:
+			fwd.OutPort = a.Port
+		case Drop:
+			fwd.Dropped = true
+		}
+	}
+	if fwd.OutPort >= 1 && fwd.OutPort <= s.NumPorts && !fwd.Dropped {
+		s.Ports[fwd.OutPort].TxPackets++
+		s.Ports[fwd.OutPort].TxBytes += uint64(p.Bytes)
+	}
+	if fwd.OutPort == 0 {
+		fwd.Dropped = true
+	}
+	return fwd
+}
+
+// ResetCounters zeroes port and entry counters (telemetry epoch).
+func (s *Switch) ResetCounters() {
+	for i := range s.Ports {
+		s.Ports[i] = PortCounter{}
+	}
+	for _, e := range s.Table.Entries() {
+		e.Packets, e.Bytes = 0, 0
+	}
+}
+
+// Dump renders the flow table for debugging and the sdtctl CLI.
+func (s *Switch) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "switch %s (%d ports, %d/%d entries)\n", s.ID, s.NumPorts, s.Table.Len(), s.Table.Capacity)
+	for _, e := range s.Table.Entries() {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

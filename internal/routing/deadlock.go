@@ -1,0 +1,200 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Channel is one unidirectional virtual channel of a logical link:
+// edge Edge traversed from From, on virtual channel VC.
+type Channel struct {
+	Edge int
+	From int
+	VC   int
+}
+
+// String renders the channel for cycle reports.
+func (c Channel) String() string {
+	return fmt.Sprintf("e%d@%d/vc%d", c.Edge, c.From, c.VC)
+}
+
+// DependencyGraph is the channel dependency graph (CDG) induced by a
+// route set: an edge ch1 -> ch2 whenever some packet may hold ch1 while
+// requesting ch2 (Dally & Seitz). In a lossless (PFC) network, a cycle
+// in this graph is a potential deadlock.
+type DependencyGraph struct {
+	Channels []Channel
+	index    map[Channel]int
+	adj      [][]int
+}
+
+func newDependencyGraph() *DependencyGraph {
+	return &DependencyGraph{index: map[Channel]int{}}
+}
+
+func (d *DependencyGraph) id(c Channel) int {
+	if i, ok := d.index[c]; ok {
+		return i
+	}
+	i := len(d.Channels)
+	d.Channels = append(d.Channels, c)
+	d.index[c] = i
+	d.adj = append(d.adj, nil)
+	return i
+}
+
+func (d *DependencyGraph) addDep(a, b Channel) {
+	ia, ib := d.id(a), d.id(b)
+	for _, x := range d.adj[ia] {
+		if x == ib {
+			return
+		}
+	}
+	d.adj[ia] = append(d.adj[ia], ib)
+}
+
+// FindCycle returns a channel cycle if one exists, else nil.
+func (d *DependencyGraph) FindCycle() []Channel {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(d.Channels))
+	parent := make([]int, len(d.Channels))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleAt, cycleTo int = -1, -1
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = grey
+		// Sorted neighbour order keeps cycle reports deterministic.
+		nbrs := append([]int(nil), d.adj[v]...)
+		sort.Ints(nbrs)
+		for _, w := range nbrs {
+			switch color[w] {
+			case white:
+				parent[w] = v
+				if dfs(w) {
+					return true
+				}
+			case grey:
+				cycleAt, cycleTo = v, w
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := range d.Channels {
+		if color[v] == white && dfs(v) {
+			var cyc []Channel
+			for x := cycleAt; x != cycleTo; x = parent[x] {
+				cyc = append(cyc, d.Channels[x])
+			}
+			cyc = append(cyc, d.Channels[cycleTo])
+			// Reverse into traversal order.
+			for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+				cyc[i], cyc[j] = cyc[j], cyc[i]
+			}
+			return cyc
+		}
+	}
+	return nil
+}
+
+// BuildCDG traces every host pair's path under r and accumulates the
+// channel dependency graph. It fails if any pair has no complete,
+// loop-free route (which is itself a routing bug worth surfacing here).
+func BuildCDG(r *Routes) (*DependencyGraph, error) {
+	g := r.Topo
+	d := newDependencyGraph()
+	hosts := g.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			chans, err := traceChannels(r, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i+1 < len(chans); i++ {
+				d.addDep(chans[i], chans[i+1])
+			}
+		}
+	}
+	return d, nil
+}
+
+// traceChannels walks the path src->dst, returning the switch-switch
+// channels traversed (injection and ejection links are excluded, as
+// they cannot participate in routing deadlocks).
+func traceChannels(r *Routes, src, dst int) ([]Channel, error) {
+	g := r.Topo
+	cur := g.HostSwitch(src)
+	if cur < 0 {
+		return nil, fmt.Errorf("routing: host %d unattached", src)
+	}
+	tag := 0
+	inPort := portTo(g, cur, src)
+	var chans []Channel
+	limit := len(g.Vertices)*maxInt(r.NumVCs, 1) + 2
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return nil, fmt.Errorf("routing: %s: loop tracing %d->%d", r.Strategy, src, dst)
+		}
+		rule := r.Lookup(cur, inPort, dst, tag)
+		if rule == nil {
+			return nil, fmt.Errorf("routing: %s: no rule at switch %d for dst %d tag %d", r.Strategy, cur, dst, tag)
+		}
+		if rule.NewTag >= 0 {
+			tag = rule.NewTag
+		}
+		var edge topology.Edge
+		found := false
+		for _, eid := range g.IncidentEdges(cur) {
+			if g.Edges[eid].PortAt(cur) == rule.OutPort {
+				edge = g.Edges[eid]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("routing: %s: dangling out port %d on switch %d", r.Strategy, rule.OutPort, cur)
+		}
+		nxt := edge.Other(cur)
+		if nxt == dst {
+			return chans, nil
+		}
+		if g.Vertices[nxt].Kind != topology.Switch {
+			return nil, fmt.Errorf("routing: %s: misdelivery of %d->%d at host %d", r.Strategy, src, dst, nxt)
+		}
+		chans = append(chans, Channel{Edge: edge.ID, From: cur, VC: tag})
+		inPort = edge.PortAt(nxt)
+		cur = nxt
+	}
+}
+
+// VerifyDeadlockFree builds the CDG for r and returns an error naming a
+// channel cycle if the route set can deadlock under lossless operation.
+func VerifyDeadlockFree(r *Routes) error {
+	d, err := BuildCDG(r)
+	if err != nil {
+		return err
+	}
+	if cyc := d.FindCycle(); cyc != nil {
+		return fmt.Errorf("routing: %s: channel dependency cycle: %v", r.Strategy, cyc)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,343 @@
+// Package routing implements the SDT controller's Routing Strategy
+// module (§V-2) and the deadlock-avoidance schemes of Table III.
+//
+// A Strategy computes, for a logical topology, a set of forwarding
+// Rules: per logical switch, destination host (and optionally ingress
+// port and virtual-channel tag) → output port and next tag. Rules are
+// substrate-independent; they compile either onto the logical topology
+// (full-testbed simulation) or through a projection Plan onto physical
+// OpenFlow switches (SDT).
+//
+// Deadlock freedom for lossless (PFC) operation is verified by building
+// the channel dependency graph over (link, direction, VC) channels and
+// checking it is acyclic (Dally & Seitz). Strategies that need VC
+// transitions (Dragonfly, Torus) express them through the Tag field.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// Rule is one forwarding decision on a logical switch.
+type Rule struct {
+	Switch  int // logical switch vertex ID
+	InPort  int // logical ingress port; 0 = any
+	Dst     int // destination host vertex ID
+	Tag     int // required VC tag; openflow.Any = any
+	OutPort int // logical egress port
+	NewTag  int // -1 = keep tag, else rewrite
+}
+
+// Routes is the output of a Strategy.
+type Routes struct {
+	Topo     *topology.Graph
+	Strategy string
+	NumVCs   int // number of distinct VC tags used (>=1)
+	Rules    []Rule
+
+	index map[[2]int][]int // (switch, dst) -> rule indices, most specific first
+}
+
+// Strategy computes routes for a topology.
+type Strategy interface {
+	Name() string
+	Compute(g *topology.Graph) (*Routes, error)
+}
+
+func newRoutes(g *topology.Graph, name string, vcs int) *Routes {
+	return &Routes{Topo: g, Strategy: name, NumVCs: vcs}
+}
+
+// NewManualRoutes starts an empty route set for a user-defined routing
+// strategy ("users can develop their routing strategy ... with the SDT
+// controller", §I). Add rules with AddRule; verify with
+// VerifyDeadlockFree before deploying on a lossless fabric.
+func NewManualRoutes(g *topology.Graph, name string, numVCs int) *Routes {
+	return newRoutes(g, name, numVCs)
+}
+
+// AddRule appends a forwarding rule to a manual route set.
+func (r *Routes) AddRule(rule Rule) { r.add(rule) }
+
+func (r *Routes) add(rule Rule) {
+	r.Rules = append(r.Rules, rule)
+	r.index = nil
+}
+
+func (r *Routes) buildIndex() {
+	if r.index != nil {
+		return
+	}
+	r.index = make(map[[2]int][]int)
+	for i := range r.Rules {
+		key := [2]int{r.Rules[i].Switch, r.Rules[i].Dst}
+		r.index[key] = append(r.index[key], i)
+	}
+	spec := func(i int) int {
+		s := 0
+		if r.Rules[i].InPort != 0 {
+			s += 2
+		}
+		if r.Rules[i].Tag != openflow.Any {
+			s++
+		}
+		return s
+	}
+	for key := range r.index {
+		idx := r.index[key]
+		sort.SliceStable(idx, func(a, b int) bool { return spec(idx[a]) > spec(idx[b]) })
+	}
+}
+
+// Lookup finds the most specific rule on switch sw for a packet
+// arriving on logical port inPort with the given destination and tag.
+// It returns nil when no rule applies.
+func (r *Routes) Lookup(sw, inPort, dst, tag int) *Rule {
+	r.buildIndex()
+	for _, i := range r.index[[2]int{sw, dst}] {
+		rule := &r.Rules[i]
+		if rule.InPort != 0 && rule.InPort != inPort {
+			continue
+		}
+		if rule.Tag != openflow.Any && rule.Tag != tag {
+			continue
+		}
+		return rule
+	}
+	return nil
+}
+
+// portTo returns the logical port on switch `from` that leads to
+// neighbour vertex `to`, or 0 if they are not adjacent.
+func portTo(g *topology.Graph, from, to int) int {
+	eid := g.EdgeBetween(from, to)
+	if eid < 0 {
+		return 0
+	}
+	return g.Edges[eid].PortAt(from)
+}
+
+// addPathRules installs dst-directed rules along a switch path
+// path[0..n-1] terminating at host dst attached to path[n-1]. vcAt
+// returns the VC tag a packet must carry when *leaving* hop i; pass nil
+// for single-VC routing. Rules are tag-matched so multi-VC strategies
+// stay consistent.
+func addPathRules(r *Routes, g *topology.Graph, path []int, dst int, vcAt func(i int) int) {
+	vc := func(i int) int {
+		if vcAt == nil {
+			return 0
+		}
+		return vcAt(i)
+	}
+	for i := 0; i < len(path); i++ {
+		var out int
+		if i == len(path)-1 {
+			out = portTo(g, path[i], dst) // deliver to host
+		} else {
+			out = portTo(g, path[i], path[i+1])
+		}
+		inTag := 0
+		if i > 0 {
+			inTag = vc(i - 1)
+		}
+		outTag := inTag
+		if i < len(path)-1 {
+			outTag = vc(i)
+		}
+		newTag := -1
+		if outTag != inTag {
+			newTag = outTag
+		}
+		rule := Rule{Switch: path[i], InPort: 0, Dst: dst, Tag: inTag, OutPort: out, NewTag: newTag}
+		// Avoid exact duplicates from overlapping dst trees.
+		dup := false
+		for _, ex := range r.Rules {
+			if ex == rule {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.add(rule)
+		}
+	}
+}
+
+// ShortestPath is the generic strategy: BFS trees rooted at every
+// destination host's switch, deterministic tie-breaking by vertex ID.
+// Single VC; deadlock-free only on acyclic-channel topologies (trees,
+// fat-trees via up/down shape) — use VerifyDeadlockFree to check.
+type ShortestPath struct{}
+
+// Name implements Strategy.
+func (ShortestPath) Name() string { return "shortest-path" }
+
+// Compute implements Strategy.
+func (ShortestPath) Compute(g *topology.Graph) (*Routes, error) {
+	r := newRoutes(g, "shortest-path", 1)
+	for _, dst := range g.Hosts() {
+		root := g.HostSwitch(dst)
+		if root < 0 {
+			return nil, fmt.Errorf("routing: host %d has no switch", dst)
+		}
+		// BFS from root over switches; next[v] = neighbour of v one hop
+		// closer to root.
+		next := map[int]int{root: root}
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nbrs := append([]int(nil), g.Neighbors(v)...)
+			sort.Ints(nbrs)
+			for _, o := range nbrs {
+				if g.Vertices[o].Kind != topology.Switch {
+					continue
+				}
+				if _, seen := next[o]; seen {
+					continue
+				}
+				next[o] = v
+				queue = append(queue, o)
+			}
+		}
+		for sw, nxt := range next {
+			var out int
+			if sw == root {
+				out = portTo(g, sw, dst)
+			} else {
+				out = portTo(g, sw, nxt)
+			}
+			if out == 0 {
+				return nil, fmt.Errorf("routing: no port from %d toward %d", sw, dst)
+			}
+			r.add(Rule{Switch: sw, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
+		}
+	}
+	sortRules(r)
+	return r, nil
+}
+
+func sortRules(r *Routes) {
+	sort.SliceStable(r.Rules, func(i, j int) bool {
+		a, b := r.Rules[i], r.Rules[j]
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.InPort < b.InPort
+	})
+	r.index = nil
+}
+
+// CompileLogicalTables instantiates one OpenFlow switch per logical
+// switch and installs the routes as flow entries — the configuration of
+// a "full testbed" where every logical switch is a real switch. Port
+// numbering follows the logical topology's ports. tableCap of 0 means
+// unlimited.
+func CompileLogicalTables(r *Routes, tableCap int) (map[int]*openflow.Switch, error) {
+	g := r.Topo
+	out := make(map[int]*openflow.Switch, g.NumSwitches())
+	for _, s := range g.Switches() {
+		maxPort := 0
+		for _, eid := range g.IncidentEdges(s) {
+			if p := g.Edges[eid].PortAt(s); p > maxPort {
+				maxPort = p
+			}
+		}
+		out[s] = openflow.NewSwitch(g.Vertices[s].Label, maxPort, tableCap)
+	}
+	for _, rule := range r.Rules {
+		sw := out[rule.Switch]
+		if sw == nil {
+			return nil, fmt.Errorf("routing: rule references non-switch vertex %d", rule.Switch)
+		}
+		var actions []openflow.Action
+		if rule.NewTag >= 0 {
+			actions = append(actions, openflow.Action{Type: openflow.SetTag, Tag: rule.NewTag})
+		}
+		actions = append(actions, openflow.Action{Type: openflow.Output, Port: rule.OutPort})
+		prio := 10
+		if rule.InPort != 0 {
+			prio += 4
+		}
+		if rule.Tag != openflow.Any {
+			prio += 2
+		}
+		err := sw.Table.Add(openflow.FlowEntry{
+			Priority: prio,
+			Match: openflow.Match{
+				InPort:  rule.InPort,
+				SrcHost: openflow.Any,
+				DstHost: rule.Dst,
+				Tag:     rule.Tag,
+			},
+			Actions: actions,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TracePath walks the rules from src host to dst host and returns the
+// sequence of (switch, vc) hops, verifying termination. It is the
+// loop/completeness checker used by tests and the deadlock verifier.
+func (r *Routes) TracePath(src, dst int) ([]int, error) {
+	g := r.Topo
+	if src == dst {
+		return nil, nil
+	}
+	cur := g.HostSwitch(src)
+	if cur < 0 {
+		return nil, fmt.Errorf("routing: source host %d unattached", src)
+	}
+	tag := 0
+	inPort := portTo(g, cur, src)
+	var path []int
+	limit := len(g.Vertices)*r.NumVCs + 2
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return nil, fmt.Errorf("routing: path %d->%d exceeds %d hops (loop?)", src, dst, limit)
+		}
+		path = append(path, cur)
+		rule := r.Lookup(cur, inPort, dst, tag)
+		if rule == nil {
+			return nil, fmt.Errorf("routing: no rule on switch %d for dst %d tag %d", cur, dst, tag)
+		}
+		if rule.NewTag >= 0 {
+			tag = rule.NewTag
+		}
+		// Find what the out port leads to.
+		nxt := -1
+		nxtPort := 0
+		for _, eid := range g.IncidentEdges(cur) {
+			e := g.Edges[eid]
+			if e.PortAt(cur) == rule.OutPort {
+				nxt = e.Other(cur)
+				nxtPort = e.PortAt(nxt)
+				break
+			}
+		}
+		if nxt < 0 {
+			return nil, fmt.Errorf("routing: switch %d out port %d dangling", cur, rule.OutPort)
+		}
+		if nxt == dst {
+			return path, nil
+		}
+		if g.Vertices[nxt].Kind != topology.Switch {
+			return nil, fmt.Errorf("routing: path %d->%d delivered to wrong host %d", src, dst, nxt)
+		}
+		cur = nxt
+		inPort = nxtPort
+	}
+}

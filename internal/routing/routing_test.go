@@ -1,0 +1,521 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// checkAllPairs traces every host pair and fails on missing rules,
+// loops, or misdelivery. Returns total hops for shape checks.
+func checkAllPairs(t *testing.T, r *Routes) int {
+	t.Helper()
+	hosts := r.Topo.Hosts()
+	total := 0
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			path, err := r.TracePath(s, d)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Strategy, err)
+			}
+			total += len(path)
+		}
+	}
+	return total
+}
+
+func TestShortestPathOnLine(t *testing.T) {
+	g := topology.Line(8, 1)
+	r, err := ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	// End-to-end path must traverse all 8 switches.
+	hosts := g.Hosts()
+	path, err := r.TracePath(hosts[0], hosts[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 8 {
+		t.Errorf("line path length = %d switches, want 8", len(path))
+	}
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("line shortest-path should be deadlock-free: %v", err)
+	}
+}
+
+func TestShortestPathMinimality(t *testing.T) {
+	g := topology.Torus2D(4, 4, 1)
+	r, err := ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	for _, s := range hosts {
+		dist := g.ShortestPaths(g.HostSwitch(s))
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			path, err := r.TracePath(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := dist[g.HostSwitch(d)] + 1
+			if len(path) != want {
+				t.Errorf("path %d->%d: %d switches, want %d", s, d, len(path), want)
+			}
+		}
+	}
+}
+
+func TestFatTreeDFS(t *testing.T) {
+	g := topology.FatTree(4)
+	r, err := FatTreeDFS{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("up-down routing must be deadlock-free: %v", err)
+	}
+	// Same-pod same-edge pairs must not leave the edge switch.
+	hosts := g.Hosts()
+	path, err := r.TracePath(hosts[0], hosts[1]) // h-0-0-0 and h-0-0-1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Errorf("same-edge pair path = %d switches, want 1", len(path))
+	}
+	// Cross-pod pairs climb to a core: 5 switches (edge,agg,core,agg,edge).
+	last := hosts[len(hosts)-1]
+	path, err = r.TracePath(hosts[0], last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 {
+		t.Errorf("cross-pod path = %d switches, want 5", len(path))
+	}
+}
+
+func TestFatTreeDFSSpreadsCore(t *testing.T) {
+	g := topology.FatTree(4)
+	r, err := FatTreeDFS{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	src := hosts[0]
+	cores := map[int]bool{}
+	for _, d := range hosts[8:] { // other pods
+		path, err := r.TracePath(src, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sw := range path {
+			if g.Vertices[sw].Coord[0] == 0 {
+				cores[sw] = true
+			}
+		}
+	}
+	if len(cores) < 2 {
+		t.Errorf("all cross-pod traffic from one host used %d core(s); want spread >= 2", len(cores))
+	}
+}
+
+func TestDragonflyMinimal(t *testing.T) {
+	g := topology.Dragonfly(4, 9, 2, 1)
+	r, err := DragonflyMinimal{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if r.NumVCs != 2 {
+		t.Errorf("NumVCs = %d, want 2", r.NumVCs)
+	}
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("dragonfly minimal with VC change must be deadlock-free: %v", err)
+	}
+	// Minimal paths: at most 3 switch-switch hops (local, global, local)
+	// => at most 4 switches on the path.
+	hosts := g.Hosts()
+	for _, s := range hosts[:6] {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			path, err := r.TracePath(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) > 4 {
+				t.Errorf("dragonfly path %d->%d has %d switches (> 4)", s, d, len(path))
+			}
+		}
+	}
+}
+
+func TestMeshXY(t *testing.T) {
+	g := topology.Mesh2D(4, 4, 1)
+	r, err := MeshXY{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("XY routing must be deadlock-free: %v", err)
+	}
+	// XY: X is corrected before Y on every path.
+	hosts := g.Hosts()
+	for _, s := range hosts[:4] {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			path, err := r.TracePath(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yStarted := false
+			for i := 1; i < len(path); i++ {
+				pc := g.Vertices[path[i-1]].Coord
+				cc := g.Vertices[path[i]].Coord
+				if pc[1] != cc[1] {
+					yStarted = true
+				} else if pc[0] != cc[0] && yStarted {
+					t.Fatalf("path %d->%d moves in X after Y", s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshXYZ(t *testing.T) {
+	g := topology.Mesh3D(3, 3, 3, 1)
+	r, err := MeshXYZ{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("XYZ routing must be deadlock-free: %v", err)
+	}
+}
+
+func TestTorusClue2D(t *testing.T) {
+	g := topology.Torus2D(5, 5, 1)
+	r, err := TorusClue{Dims: 2}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if r.NumVCs != 2 {
+		t.Errorf("NumVCs = %d, want 2", r.NumVCs)
+	}
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("torus dateline routing must be deadlock-free: %v", err)
+	}
+	// Shortest-way-around: max per-dimension hops is 2 on a 5-ring, so
+	// max path = 2+2 switch hops => 5 switches.
+	hosts := g.Hosts()
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			path, err := r.TracePath(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) > 5 {
+				t.Errorf("torus path %d->%d = %d switches (> 5)", s, d, len(path))
+			}
+		}
+	}
+}
+
+func TestTorusClue3D(t *testing.T) {
+	g := topology.Torus3D(4, 4, 4, 1)
+	r, err := TorusClue{Dims: 3}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("3D torus dateline routing must be deadlock-free: %v", err)
+	}
+}
+
+func TestDeadlockDetectorFindsCycle(t *testing.T) {
+	// Hand-built cyclic routes on a 3-switch ring: everything forwarded
+	// clockwise, including to non-adjacent destinations — the canonical
+	// ring deadlock.
+	g := topology.Ring(3, 1)
+	sw := g.Switches()
+	hosts := g.Hosts()
+	r := newRoutes(g, "cyclic", 1)
+	for i, s := range sw {
+		next := sw[(i+1)%3]
+		for _, d := range hosts {
+			if g.HostSwitch(d) == s {
+				r.add(Rule{Switch: s, Dst: d, Tag: openflow.Any, OutPort: portTo(g, s, d), NewTag: -1})
+			} else {
+				r.add(Rule{Switch: s, Dst: d, Tag: openflow.Any, OutPort: portTo(g, s, next), NewTag: -1})
+			}
+		}
+	}
+	err := VerifyDeadlockFree(r)
+	if err == nil {
+		t.Fatal("cyclic clockwise ring routing passed the deadlock check")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error does not name the cycle: %v", err)
+	}
+}
+
+func TestUGALMinimalWhenIdle(t *testing.T) {
+	g := topology.Dragonfly(4, 9, 2, 1)
+	r, err := DragonflyUGAL{Bias: 1}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("idle UGAL must be deadlock-free: %v", err)
+	}
+	// With no load, every path must be minimal (<= 4 switches).
+	hosts := g.Hosts()
+	for _, s := range hosts[:4] {
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			path, err := r.TracePath(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(path) > 4 {
+				t.Errorf("idle UGAL took non-minimal path %d->%d (%d switches)", s, d, len(path))
+			}
+		}
+	}
+}
+
+func TestUGALDivertsUnderLoad(t *testing.T) {
+	g := topology.Dragonfly(4, 9, 2, 1)
+	// Saturate every global link out of group 0 toward group 1.
+	loads := map[int]float64{}
+	for _, eid := range g.SwitchSwitchEdges() {
+		e := g.Edges[eid]
+		ga, gb := g.Vertices[e.A].Coord[0], g.Vertices[e.B].Coord[0]
+		if (ga == 0 && gb == 1) || (ga == 1 && gb == 0) {
+			loads[eid] = 1e9
+		}
+	}
+	r, err := DragonflyUGAL{Loads: loads, Bias: 1}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, r)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Errorf("loaded UGAL must stay deadlock-free: %v", err)
+	}
+	// A group-0 host reaching a group-1 host must now detour: > 4 switches.
+	var src, dst int = -1, -1
+	for _, h := range g.Hosts() {
+		grp := g.Vertices[g.HostSwitch(h)].Coord[0]
+		if grp == 0 && src < 0 {
+			src = h
+		}
+		if grp == 1 && dst < 0 {
+			dst = h
+		}
+	}
+	path, err := r.TracePath(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diverted path must transit an intermediate group and must not
+	// use any saturated global link.
+	sawIntermediate := false
+	for _, sw := range path {
+		if grp := g.Vertices[sw].Coord[0]; grp != 0 && grp != 1 {
+			sawIntermediate = true
+		}
+	}
+	if !sawIntermediate {
+		t.Errorf("UGAL did not divert under load: path groups stayed in {0,1}: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		eid := g.EdgeBetween(path[i-1], path[i])
+		if loads[eid] > 0 {
+			t.Errorf("diverted path still crosses saturated edge %d", eid)
+		}
+	}
+}
+
+func TestCompileLogicalTables(t *testing.T) {
+	g := topology.Line(4, 1)
+	r, err := ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := CompileLogicalTables(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("tables for %d switches, want 4", len(tables))
+	}
+	// Forward a packet along the line via the flow tables and verify it
+	// reaches the destination's host port.
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[3]
+	cur := g.HostSwitch(src)
+	inPort := g.Edges[g.EdgeBetween(cur, src)].PortAt(cur)
+	tag := 0
+	for hop := 0; hop < 10; hop++ {
+		sw := tables[cur]
+		fwd := sw.Process(openflow.PacketMeta{InPort: inPort, SrcHost: src, DstHost: dst, Tag: tag, Bytes: 100})
+		if !fwd.Matched || fwd.Dropped {
+			t.Fatalf("hop %d: packet dropped at switch %d: %+v", hop, cur, fwd)
+		}
+		tag = fwd.Tag
+		// Resolve the out port.
+		found := false
+		for _, eid := range g.IncidentEdges(cur) {
+			e := g.Edges[eid]
+			if e.PortAt(cur) == fwd.OutPort {
+				nxt := e.Other(cur)
+				if nxt == dst {
+					return // delivered
+				}
+				inPort = e.PortAt(nxt)
+				cur = nxt
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("dangling out port %d at switch %d", fwd.OutPort, cur)
+		}
+	}
+	t.Fatal("packet looped")
+}
+
+func TestCompileRespectsCapacity(t *testing.T) {
+	g := topology.FatTree(4)
+	r, err := FatTreeDFS{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileLogicalTables(r, 1); err == nil {
+		t.Error("capacity 1 accepted a fat-tree route set")
+	}
+}
+
+func TestForTopology(t *testing.T) {
+	cases := []struct {
+		g    *topology.Graph
+		want string
+	}{
+		{topology.FatTree(4), "fattree-dfs"},
+		{topology.Dragonfly(4, 9, 2, 1), "dragonfly-minimal"},
+		{topology.Mesh2D(3, 3, 1), "mesh-xy"},
+		{topology.Mesh3D(2, 2, 2, 1), "mesh-xyz"},
+		{topology.Torus2D(4, 4, 1), "torus-clue-2d"},
+		{topology.Torus3D(3, 3, 3, 1), "torus-clue-3d"},
+		{topology.Ring(5, 1), "shortest-path"},
+	}
+	for _, c := range cases {
+		if got := ForTopology(c.g).Name(); got != c.want {
+			t.Errorf("ForTopology(%s) = %s, want %s", c.g.Name, got, c.want)
+		}
+	}
+}
+
+func TestLookupSpecificity(t *testing.T) {
+	g := topology.Line(2, 1)
+	r := newRoutes(g, "test", 2)
+	sw := g.Switches()[0]
+	r.add(Rule{Switch: sw, Dst: 99, Tag: openflow.Any, OutPort: 1, NewTag: -1})
+	r.add(Rule{Switch: sw, Dst: 99, Tag: 1, OutPort: 2, NewTag: -1})
+	r.add(Rule{Switch: sw, InPort: 3, Dst: 99, Tag: openflow.Any, OutPort: 3, NewTag: -1})
+	if got := r.Lookup(sw, 3, 99, 0).OutPort; got != 3 {
+		t.Errorf("in-port rule should win, got out %d", got)
+	}
+	if got := r.Lookup(sw, 1, 99, 1).OutPort; got != 2 {
+		t.Errorf("tag rule should win, got out %d", got)
+	}
+	if got := r.Lookup(sw, 1, 99, 0).OutPort; got != 1 {
+		t.Errorf("fallback rule should win, got out %d", got)
+	}
+	if r.Lookup(sw, 1, 98, 0) != nil {
+		t.Error("lookup for unknown dst should miss")
+	}
+}
+
+// Property: shortest-path routing on random connected WANs always
+// completes all pairs with minimal hop counts.
+func TestQuickShortestPathComplete(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 3 + int(nRaw)%12
+		g := topology.RandomWAN("q", n, n/3, seed)
+		r, err := ShortestPath{}.Compute(g)
+		if err != nil {
+			return false
+		}
+		hosts := g.Hosts()
+		for _, s := range hosts {
+			dist := g.ShortestPaths(g.HostSwitch(s))
+			for _, d := range hosts {
+				if s == d {
+					continue
+				}
+				path, err := r.TracePath(s, d)
+				if err != nil {
+					return false
+				}
+				if len(path) != dist[g.HostSwitch(d)]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDragonflyMinimalCompute(b *testing.B) {
+	g := topology.Dragonfly(4, 9, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (DragonflyMinimal{}).Compute(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyDeadlockFreeTorus(b *testing.B) {
+	g := topology.Torus2D(5, 5, 1)
+	r, err := TorusClue{Dims: 2}.Compute(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyDeadlockFree(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

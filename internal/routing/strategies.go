@@ -1,0 +1,400 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// FatTreeDFS is the paper's Table III routing for Fat-Tree: up-down
+// (DFS) routing. Packets climb toward a deterministic core chosen by
+// hashing the destination (spreading load across the core layer), then
+// descend along the unique down path. Up-down routing is deadlock-free
+// with a single VC because channel dependencies only turn down.
+type FatTreeDFS struct{}
+
+// Name implements Strategy.
+func (FatTreeDFS) Name() string { return "fattree-dfs" }
+
+// Compute implements Strategy.
+func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
+	// Index vertices by coordinates set by topology.FatTree.
+	type key struct{ layer, a, b int }
+	byCoord := map[key]int{}
+	k := 0
+	for _, s := range g.Switches() {
+		c := g.Vertices[s].Coord
+		if len(c) != 3 {
+			return nil, fmt.Errorf("routing: %s: switch %d lacks fat-tree coords", g.Name, s)
+		}
+		byCoord[key{c[0], c[1], c[2]}] = s
+		if c[0] == 1 && c[2]+1 > k/2 { // agg index range gives k/2
+			k = (c[2] + 1) * 2
+		}
+	}
+	half := k / 2
+	if half == 0 {
+		return nil, fmt.Errorf("routing: %s is not a fat-tree", g.Name)
+	}
+	r := newRoutes(g, "fattree-dfs", 1)
+	for _, dst := range g.Hosts() {
+		hc := g.Vertices[dst].Coord // {3, pod, edge, slot}
+		if len(hc) != 4 {
+			return nil, fmt.Errorf("routing: host %d lacks fat-tree coords", dst)
+		}
+		dPod, dEdge := hc[1], hc[2]
+		spread := dst // deterministic hash: spread by destination ID
+		dstEdgeSw := byCoord[key{2, dPod, dEdge}]
+		for _, s := range g.Switches() {
+			c := g.Vertices[s].Coord
+			var nxt int
+			switch c[0] {
+			case 2: // edge switch
+				if c[1] == dPod && c[2] == dEdge {
+					r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+						OutPort: portTo(g, s, dst), NewTag: -1})
+					continue
+				}
+				// Up to aggregation chosen by destination hash.
+				nxt = byCoord[key{1, c[1], spread % half}]
+			case 1: // aggregation switch
+				if c[1] == dPod {
+					nxt = dstEdgeSw // down
+				} else {
+					// Up to core row c[2], column by hash.
+					nxt = byCoord[key{0, c[2], (spread / half) % half}]
+				}
+			case 0: // core switch: down to the destination pod's agg in this row
+				nxt = byCoord[key{1, dPod, c[1]}]
+			default:
+				return nil, fmt.Errorf("routing: unknown fat-tree layer %d", c[0])
+			}
+			out := portTo(g, s, nxt)
+			if out == 0 {
+				return nil, fmt.Errorf("routing: fat-tree: no link %d->%d", s, nxt)
+			}
+			r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
+		}
+	}
+	sortRules(r)
+	return r, nil
+}
+
+// DragonflyMinimal is Table III's Dragonfly routing: minimal paths
+// (local, global, local) with deadlock avoidance by changing VC after
+// the global hop (Dally & Aoki / Kim et al.): tag 0 in the source
+// group, tag 1 once inside the destination group.
+type DragonflyMinimal struct{}
+
+// Name implements Strategy.
+func (DragonflyMinimal) Name() string { return "dragonfly-minimal" }
+
+// Compute implements Strategy.
+func (DragonflyMinimal) Compute(g *topology.Graph) (*Routes, error) {
+	df, err := indexDragonfly(g)
+	if err != nil {
+		return nil, err
+	}
+	r := newRoutes(g, "dragonfly-minimal", 2)
+	for _, dst := range g.Hosts() {
+		D := g.HostSwitch(dst)
+		gd := g.Vertices[D].Coord[0]
+		for _, s := range g.Switches() {
+			gs := g.Vertices[s].Coord[0]
+			if gs == gd {
+				// Inside destination group: deliver or one local hop.
+				// Tag Any covers both intra-group traffic (tag 0) and
+				// arrivals from the global hop (tag 1).
+				if s == D {
+					r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+						OutPort: portTo(g, s, dst), NewTag: -1})
+				} else {
+					r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+						OutPort: portTo(g, s, D), NewTag: -1})
+				}
+				continue
+			}
+			gw, _, ok := df.gateway(gs, gd)
+			if !ok {
+				return nil, fmt.Errorf("routing: no global link %d->%d", gs, gd)
+			}
+			if s == gw {
+				// Cross the global link, switching to VC 1.
+				peer := df.globalPeer(s, gd)
+				r.add(Rule{Switch: s, Dst: dst, Tag: 0,
+					OutPort: portTo(g, s, peer), NewTag: 1})
+			} else {
+				r.add(Rule{Switch: s, Dst: dst, Tag: 0,
+					OutPort: portTo(g, s, gw), NewTag: -1})
+			}
+		}
+	}
+	sortRules(r)
+	return r, nil
+}
+
+// dragonflyIndex caches group structure for dragonfly strategies.
+type dragonflyIndex struct {
+	g        *topology.Graph
+	groups   [][]int        // group -> routers
+	gateRtr  map[[2]int]int // (srcGroup, dstGroup) -> gateway router in srcGroup
+	gatePeer map[[2]int]int // (router, dstGroup) -> peer router across the global link
+}
+
+func indexDragonfly(g *topology.Graph) (*dragonflyIndex, error) {
+	df := &dragonflyIndex{g: g, gateRtr: map[[2]int]int{}, gatePeer: map[[2]int]int{}}
+	maxGroup := -1
+	for _, s := range g.Switches() {
+		c := g.Vertices[s].Coord
+		if len(c) != 2 {
+			return nil, fmt.Errorf("routing: %s: switch %d lacks dragonfly coords", g.Name, s)
+		}
+		if c[0] > maxGroup {
+			maxGroup = c[0]
+		}
+	}
+	df.groups = make([][]int, maxGroup+1)
+	for _, s := range g.Switches() {
+		grp := g.Vertices[s].Coord[0]
+		df.groups[grp] = append(df.groups[grp], s)
+	}
+	for _, eid := range g.SwitchSwitchEdges() {
+		e := g.Edges[eid]
+		ga, gb := g.Vertices[e.A].Coord[0], g.Vertices[e.B].Coord[0]
+		if ga == gb {
+			continue
+		}
+		df.gateRtr[[2]int{ga, gb}] = e.A
+		df.gateRtr[[2]int{gb, ga}] = e.B
+		df.gatePeer[[2]int{e.A, gb}] = e.B
+		df.gatePeer[[2]int{e.B, ga}] = e.A
+	}
+	return df, nil
+}
+
+// gateway returns the router in srcGroup owning the global link toward
+// dstGroup.
+func (df *dragonflyIndex) gateway(srcGroup, dstGroup int) (router, peer int, ok bool) {
+	r, ok := df.gateRtr[[2]int{srcGroup, dstGroup}]
+	if !ok {
+		return 0, 0, false
+	}
+	return r, df.gatePeer[[2]int{r, dstGroup}], true
+}
+
+func (df *dragonflyIndex) globalPeer(router, dstGroup int) int {
+	return df.gatePeer[[2]int{router, dstGroup}]
+}
+
+// MeshXY is Table III's 2D-Mesh strategy: dimension-order X-Y routing,
+// deadlock-free by routing ("by routing" in the paper — XY forbids the
+// deadlocking turns). Single VC.
+type MeshXY struct{}
+
+// Name implements Strategy.
+func (MeshXY) Name() string { return "mesh-xy" }
+
+// Compute implements Strategy.
+func (MeshXY) Compute(g *topology.Graph) (*Routes, error) {
+	return dimensionOrder(g, 2, false, "mesh-xy")
+}
+
+// MeshXYZ is Table III's 3D-Mesh strategy: X-Y-Z dimension order.
+type MeshXYZ struct{}
+
+// Name implements Strategy.
+func (MeshXYZ) Name() string { return "mesh-xyz" }
+
+// Compute implements Strategy.
+func (MeshXYZ) Compute(g *topology.Graph) (*Routes, error) {
+	return dimensionOrder(g, 3, false, "mesh-xyz")
+}
+
+// TorusClue is Table III's 2D/3D-Torus strategy, after Clue (Xiang &
+// Luo): dimension-order routing with shortest wrap-around direction and
+// deadlock avoidance "by routing and changing VC" — a dateline VC per
+// dimension: packets start each dimension on VC 0 and switch to VC 1
+// after crossing the wrap link.
+type TorusClue struct {
+	Dims int // 2 or 3
+}
+
+// Name implements Strategy.
+func (t TorusClue) Name() string { return fmt.Sprintf("torus-clue-%dd", t.dims()) }
+
+func (t TorusClue) dims() int {
+	if t.Dims == 3 {
+		return 3
+	}
+	return 2
+}
+
+// Compute implements Strategy.
+func (t TorusClue) Compute(g *topology.Graph) (*Routes, error) {
+	return dimensionOrder(g, t.dims(), true, t.Name())
+}
+
+// dimensionOrder implements XY/XYZ (mesh) and dateline-VC dimension
+// order (torus). Switch coordinates must be dims-long grid positions.
+func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Routes, error) {
+	size := make([]int, dims)
+	byCoord := map[string]int{}
+	ck := func(c []int) string {
+		return fmt.Sprint(c[:dims])
+	}
+	for _, s := range g.Switches() {
+		c := g.Vertices[s].Coord
+		if len(c) < dims {
+			return nil, fmt.Errorf("routing: %s: switch %d lacks %dD coords", g.Name, s, dims)
+		}
+		byCoord[ck(c)] = s
+		for d := 0; d < dims; d++ {
+			if c[d]+1 > size[d] {
+				size[d] = c[d] + 1
+			}
+		}
+	}
+	vcs := 1
+	if torus {
+		vcs = 2
+	}
+	r := newRoutes(g, name, vcs)
+
+	for _, dst := range g.Hosts() {
+		D := g.HostSwitch(dst)
+		dc := g.Vertices[D].Coord
+		for _, s := range g.Switches() {
+			sc := g.Vertices[s].Coord
+			if s == D {
+				r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+					OutPort: portTo(g, s, dst), NewTag: -1})
+				continue
+			}
+			// First differing dimension in X..Z order.
+			dim := -1
+			for d := 0; d < dims; d++ {
+				if sc[d] != dc[d] {
+					dim = d
+					break
+				}
+			}
+			// Step direction: mesh moves straight toward the target;
+			// torus takes the shorter way around (ties positive).
+			step := 1
+			n := size[dim]
+			if torus {
+				if fwd := (dc[dim] - sc[dim] + n) % n; fwd > n-fwd {
+					step = -1
+				}
+			} else if dc[dim] < sc[dim] {
+				step = -1
+			}
+			nxtCoord := append([]int(nil), sc[:dims]...)
+			nxtCoord[dim] = sc[dim] + step
+			wrap := false
+			if torus {
+				if nxtCoord[dim] < 0 {
+					nxtCoord[dim] = n - 1
+					wrap = true
+				} else if nxtCoord[dim] >= n {
+					nxtCoord[dim] = 0
+					wrap = true
+				}
+			}
+			nxt, ok := byCoord[ck(nxtCoord)]
+			if !ok {
+				return nil, fmt.Errorf("routing: %s: no switch at %v", g.Name, nxtCoord)
+			}
+			out := portTo(g, s, nxt)
+			if out == 0 {
+				return nil, fmt.Errorf("routing: %s: missing link %v->%v", g.Name, sc, nxtCoord)
+			}
+			if !torus {
+				r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
+				continue
+			}
+			// Torus: the outgoing VC depends on whether the packet is
+			// entering this dimension (reset to 0) or continuing
+			// (keep), and whether this hop crosses the dateline (set
+			// 1). Entry vs continuation is distinguished by ingress
+			// port: arrivals from the same dimension are continuations.
+			newTagEnter := 0
+			if wrap {
+				newTagEnter = 1
+			}
+			newTagCont := -1
+			if wrap {
+				newTagCont = 1
+			}
+			samePorts := dimensionPorts(g, s, dim, dims)
+			// Continuation rules (specific in-ports, keep/flip tag).
+			for _, p := range samePorts {
+				r.add(Rule{Switch: s, InPort: p, Dst: dst, Tag: openflow.Any,
+					OutPort: out, NewTag: newTagCont})
+			}
+			// Entry rule (any other ingress: host injection or a
+			// previous dimension): reset VC.
+			r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+				OutPort: out, NewTag: newTagEnter})
+		}
+	}
+	sortRules(r)
+	return r, nil
+}
+
+// dimensionPorts returns s's logical ports whose links travel along
+// dimension dim (neighbour differs only in coordinate dim).
+func dimensionPorts(g *topology.Graph, s, dim, dims int) []int {
+	var ports []int
+	sc := g.Vertices[s].Coord
+	for _, eid := range g.IncidentEdges(s) {
+		e := g.Edges[eid]
+		o := e.Other(s)
+		if g.Vertices[o].Kind != topology.Switch {
+			continue
+		}
+		oc := g.Vertices[o].Coord
+		diff := -1
+		same := true
+		for d := 0; d < dims; d++ {
+			if oc[d] != sc[d] {
+				if diff >= 0 {
+					same = false
+					break
+				}
+				diff = d
+			}
+		}
+		if same && diff == dim {
+			ports = append(ports, e.PortAt(s))
+		}
+	}
+	sort.Ints(ports)
+	return ports
+}
+
+// ForTopology returns the Table III strategy for a generated topology,
+// recognised by its generator name prefix; anything unrecognised falls
+// back to shortest-path.
+func ForTopology(g *topology.Graph) Strategy {
+	name := g.Name
+	switch {
+	case strings.HasPrefix(name, "fattree"):
+		return FatTreeDFS{}
+	case strings.HasPrefix(name, "dragonfly"):
+		return DragonflyMinimal{}
+	case strings.HasPrefix(name, "mesh2d"):
+		return MeshXY{}
+	case strings.HasPrefix(name, "mesh3d"):
+		return MeshXYZ{}
+	case strings.HasPrefix(name, "torus2d"):
+		return TorusClue{Dims: 2}
+	case strings.HasPrefix(name, "torus3d"):
+		return TorusClue{Dims: 3}
+	default:
+		return ShortestPath{}
+	}
+}

@@ -1,0 +1,168 @@
+// Package telemetry is the data plane of the SDT controller's Network
+// Monitor module (§V-3): "the SDT controller periodically collects
+// statistics data in each port of OpenFlow switches through provided
+// API. The collected data can be further used to calculate the load of
+// each logical switch in the case of adaptive routing."
+//
+// A Collector samples per-logical-link byte counters on a fixed period
+// inside a running simulation, maintaining instantaneous rates, EWMA
+// smoothed rates, and peak tracking per link — the inputs adaptive
+// (UGAL) routing consumes — and exports the series as JSON for offline
+// analysis.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// LinkSeries is the sampled history of one logical link.
+type LinkSeries struct {
+	EdgeID int `json:"edge"`
+	// Labels of the link endpoints.
+	A string `json:"a_label,omitempty"`
+	B string `json:"b_label,omitempty"`
+	// Samples of bytes transferred in each period (both directions).
+	Bytes []int64 `json:"bytes"`
+	// Peak period bytes seen.
+	Peak int64 `json:"peak"`
+	// EWMA of the per-period byte counts.
+	EWMA float64 `json:"ewma"`
+}
+
+// Collector samples a simulation's link counters periodically.
+type Collector struct {
+	Period netsim.Time
+	// Alpha is the EWMA smoothing factor in (0,1]; 1 = no smoothing.
+	Alpha float64
+
+	topo   *topology.Graph
+	series map[int]*LinkSeries
+	epochs int
+	last   map[int]float64
+}
+
+// NewCollector builds a collector for a topology with the given period
+// (0 means 1 ms) and EWMA alpha (0 means 0.3).
+func NewCollector(g *topology.Graph, period netsim.Time, alpha float64) *Collector {
+	if period <= 0 {
+		period = netsim.Millisecond
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &Collector{
+		Period: period, Alpha: alpha,
+		topo: g, series: map[int]*LinkSeries{}, last: map[int]float64{},
+	}
+}
+
+// Arm schedules periodic collection on the network until the given
+// horizon (0 = a single sample at one period). Call before Run.
+func (c *Collector) Arm(net *netsim.Network, until netsim.Time) {
+	var tick func(at netsim.Time)
+	tick = func(at netsim.Time) {
+		net.Sim.At(at, func() {
+			c.Collect(net)
+			if at+c.Period <= until {
+				tick(at + c.Period)
+			}
+		})
+	}
+	tick(c.Period)
+}
+
+// Collect takes one sample immediately (cumulative counters diffed
+// against the previous epoch).
+func (c *Collector) Collect(net *netsim.Network) {
+	loads := net.LinkLoads()
+	c.epochs++
+	for eid, cum := range loads {
+		s := c.series[eid]
+		if s == nil {
+			s = &LinkSeries{EdgeID: eid}
+			if eid >= 0 && eid < len(c.topo.Edges) {
+				e := c.topo.Edges[eid]
+				s.A = c.topo.Vertices[e.A].Label
+				s.B = c.topo.Vertices[e.B].Label
+			}
+			c.series[eid] = s
+		}
+		delta := int64(cum - c.last[eid])
+		c.last[eid] = cum
+		s.Bytes = append(s.Bytes, delta)
+		if delta > s.Peak {
+			s.Peak = delta
+		}
+		s.EWMA = c.Alpha*float64(delta) + (1-c.Alpha)*s.EWMA
+	}
+}
+
+// Epochs reports how many samples were taken.
+func (c *Collector) Epochs() int { return c.epochs }
+
+// Rates returns the latest smoothed per-link load in bytes/second —
+// the map adaptive routing strategies consume.
+func (c *Collector) Rates() map[int]float64 {
+	out := make(map[int]float64, len(c.series))
+	per := c.Period.Seconds()
+	for eid, s := range c.series {
+		out[eid] = s.EWMA / per
+	}
+	return out
+}
+
+// Series returns the recorded link series sorted by edge ID.
+func (c *Collector) Series() []*LinkSeries {
+	out := make([]*LinkSeries, 0, len(c.series))
+	for _, s := range c.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EdgeID < out[j].EdgeID })
+	return out
+}
+
+// Hottest returns the n links with the highest EWMA load, descending.
+func (c *Collector) Hottest(n int) []*LinkSeries {
+	all := c.Series()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].EWMA > all[j].EWMA })
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// export is the JSON document shape.
+type export struct {
+	Topology string        `json:"topology"`
+	PeriodNs int64         `json:"period_ns"`
+	Epochs   int           `json:"epochs"`
+	Links    []*LinkSeries `json:"links"`
+}
+
+// WriteJSON dumps the collected series.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	doc := export{
+		Topology: c.topo.Name,
+		PeriodNs: int64(c.Period / netsim.Nanosecond),
+		Epochs:   c.epochs,
+		Links:    c.Series(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a dump written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*LinkSeries, error) {
+	var doc export
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return doc.Links, nil
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Config is the JSON topology description accepted by the SDT
+// controller ("simply using different topology configuration files at
+// the controller", §I). Vertices are named; links reference names and
+// may pin explicit port numbers. Generator configs ({"generator":
+// "fattree", "params": [4]}) are also accepted so users do not have to
+// enumerate large standard topologies by hand.
+type Config struct {
+	Name      string       `json:"name"`
+	Generator string       `json:"generator,omitempty"`
+	Params    []int        `json:"params,omitempty"`
+	Switches  []string     `json:"switches,omitempty"`
+	Hosts     []string     `json:"hosts,omitempty"`
+	Links     []LinkConfig `json:"links,omitempty"`
+	// Coords optionally carries per-vertex coordinates (by label) so
+	// coordinate-based routing strategies (X-Y, Dragonfly groups,
+	// fat-tree layers) survive a round trip through the file format.
+	Coords map[string][]int `json:"coords,omitempty"`
+}
+
+// LinkConfig is one undirected link in a Config. APort/BPort of 0 mean
+// "assign the next free port".
+type LinkConfig struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	APort int    `json:"aport,omitempty"`
+	BPort int    `json:"bport,omitempty"`
+}
+
+// Build materialises the configuration into a Graph. Explicit vertices
+// and links are applied only when no generator is named.
+func (c *Config) Build() (*Graph, error) {
+	if c.Generator != "" {
+		return buildGenerator(c)
+	}
+	g := New(c.Name)
+	ids := make(map[string]int, len(c.Switches)+len(c.Hosts))
+	for _, s := range c.Switches {
+		if _, dup := ids[s]; dup {
+			return nil, fmt.Errorf("topology config %q: duplicate vertex %q", c.Name, s)
+		}
+		ids[s] = g.AddSwitch(s, c.Coords[s]...)
+	}
+	for _, h := range c.Hosts {
+		if _, dup := ids[h]; dup {
+			return nil, fmt.Errorf("topology config %q: duplicate vertex %q", c.Name, h)
+		}
+		ids[h] = g.AddHost(h, c.Coords[h]...)
+	}
+	for i, l := range c.Links {
+		a, ok := ids[l.A]
+		if !ok {
+			return nil, fmt.Errorf("topology config %q: link %d references unknown vertex %q", c.Name, i, l.A)
+		}
+		b, ok := ids[l.B]
+		if !ok {
+			return nil, fmt.Errorf("topology config %q: link %d references unknown vertex %q", c.Name, i, l.B)
+		}
+		switch {
+		case l.APort > 0 && l.BPort > 0:
+			g.ConnectPorts(a, l.APort, b, l.BPort)
+		case l.APort == 0 && l.BPort == 0:
+			g.Connect(a, b)
+		default:
+			return nil, fmt.Errorf("topology config %q: link %d must pin both ports or neither", c.Name, i)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func buildGenerator(c *Config) (*Graph, error) {
+	need := func(n int) error {
+		if len(c.Params) != n {
+			return fmt.Errorf("topology config %q: generator %q needs %d params, got %d",
+				c.Name, c.Generator, n, len(c.Params))
+		}
+		return nil
+	}
+	p := c.Params
+	var g *Graph
+	var err error
+	switch strings.ToLower(c.Generator) {
+	case "fattree":
+		if err = need(1); err == nil {
+			g = FatTree(p[0])
+		}
+	case "dragonfly":
+		if err = need(4); err == nil {
+			g = Dragonfly(p[0], p[1], p[2], p[3])
+		}
+	case "mesh2d":
+		if err = need(3); err == nil {
+			g = Mesh2D(p[0], p[1], p[2])
+		}
+	case "mesh3d":
+		if err = need(4); err == nil {
+			g = Mesh3D(p[0], p[1], p[2], p[3])
+		}
+	case "torus2d":
+		if err = need(3); err == nil {
+			g = Torus2D(p[0], p[1], p[2])
+		}
+	case "torus3d":
+		if err = need(4); err == nil {
+			g = Torus3D(p[0], p[1], p[2], p[3])
+		}
+	case "bcube":
+		if err = need(2); err == nil {
+			g = BCube(p[0], p[1])
+		}
+	case "hyperbcube":
+		if err = need(2); err == nil {
+			g = HyperBCube(p[0], p[1])
+		}
+	case "line":
+		if err = need(2); err == nil {
+			g = Line(p[0], p[1])
+		}
+	case "ring":
+		if err = need(2); err == nil {
+			g = Ring(p[0], p[1])
+		}
+	case "star":
+		if err = need(2); err == nil {
+			g = Star(p[0], p[1])
+		}
+	case "fullmesh":
+		if err = need(2); err == nil {
+			g = FullMesh(p[0], p[1])
+		}
+	default:
+		return nil, fmt.Errorf("topology config %q: unknown generator %q", c.Name, c.Generator)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.Name != "" {
+		g.Name = c.Name
+	}
+	return g, nil
+}
+
+// ToConfig converts a Graph back into an explicit (non-generator)
+// Config, suitable for round-tripping through JSON.
+func (g *Graph) ToConfig() *Config {
+	c := &Config{Name: g.Name}
+	for _, v := range g.Vertices {
+		if v.Kind == Switch {
+			c.Switches = append(c.Switches, v.Label)
+		} else {
+			c.Hosts = append(c.Hosts, v.Label)
+		}
+		if len(v.Coord) > 0 {
+			if c.Coords == nil {
+				c.Coords = map[string][]int{}
+			}
+			c.Coords[v.Label] = append([]int(nil), v.Coord...)
+		}
+	}
+	for _, e := range g.Edges {
+		c.Links = append(c.Links, LinkConfig{
+			A: g.Vertices[e.A].Label, APort: e.APort,
+			B: g.Vertices[e.B].Label, BPort: e.BPort,
+		})
+	}
+	return c
+}
+
+// ReadConfig decodes a Config from JSON.
+func ReadConfig(r io.Reader) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("topology: decoding config: %w", err)
+	}
+	return &c, nil
+}
+
+// LoadConfig reads and builds a topology from a JSON file.
+func LoadConfig(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := ReadConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c.Build()
+}
+
+// WriteConfig encodes the config as indented JSON.
+func (c *Config) WriteConfig(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,421 @@
+package topology
+
+import "fmt"
+
+// FatTree builds a standard k-ary fat-tree (Al-Fares et al., SIGCOMM'08):
+// k pods, each with k/2 edge and k/2 aggregation switches, (k/2)^2 core
+// switches, and (k/2)^2 * k hosts. k must be even and >= 2.
+//
+// Coordinates: core switches carry {0, i, j} (core grid position), pod
+// switches carry {layer, pod, index} with layer 1 = aggregation and
+// layer 2 = edge; hosts carry {3, pod, edge, slot}.
+func FatTree(k int) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: FatTree(%d): k must be even and >= 2", k))
+	}
+	g := New(fmt.Sprintf("fattree-k%d", k))
+	half := k / 2
+
+	core := make([][]int, half)
+	for i := 0; i < half; i++ {
+		core[i] = make([]int, half)
+		for j := 0; j < half; j++ {
+			core[i][j] = g.AddSwitch(fmt.Sprintf("core-%d-%d", i, j), 0, i, j)
+		}
+	}
+	agg := make([][]int, k)
+	edge := make([][]int, k)
+	for p := 0; p < k; p++ {
+		agg[p] = make([]int, half)
+		edge[p] = make([]int, half)
+		for i := 0; i < half; i++ {
+			agg[p][i] = g.AddSwitch(fmt.Sprintf("agg-%d-%d", p, i), 1, p, i)
+			edge[p][i] = g.AddSwitch(fmt.Sprintf("edge-%d-%d", p, i), 2, p, i)
+		}
+	}
+	// Aggregation i in each pod connects to core row i.
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				g.Connect(agg[p][i], core[i][j])
+			}
+			for e := 0; e < half; e++ {
+				g.Connect(agg[p][i], edge[p][e])
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for s := 0; s < half; s++ {
+				h := g.AddHost(fmt.Sprintf("h-%d-%d-%d", p, e, s), 3, p, e, s)
+				g.Connect(edge[p][e], h)
+			}
+		}
+	}
+	return g
+}
+
+// Dragonfly builds a Dragonfly (Kim et al., ISCA'08) with a routers per
+// group, g groups, h global links per router, and p hosts per router.
+// Routers within a group form a complete graph; global link l of router
+// r in group grp connects toward group (grp + r*h + l + 1) mod g using
+// the standard palmtree-style arrangement. g must satisfy g <= a*h + 1;
+// when g == a*h+1 the global graph is a complete group graph.
+//
+// Coordinates: switches carry {group, router}; hosts carry
+// {group, router, slot}.
+func Dragonfly(a, g, h, p int) *Graph {
+	if a < 1 || g < 2 || h < 1 || p < 0 {
+		panic(fmt.Sprintf("topology: Dragonfly(%d,%d,%d,%d): invalid parameters", a, g, h, p))
+	}
+	if g > a*h+1 {
+		panic(fmt.Sprintf("topology: Dragonfly: g=%d exceeds a*h+1=%d", g, a*h+1))
+	}
+	gr := New(fmt.Sprintf("dragonfly-a%d-g%d-h%d", a, g, h))
+	routers := make([][]int, g)
+	for grp := 0; grp < g; grp++ {
+		routers[grp] = make([]int, a)
+		for r := 0; r < a; r++ {
+			routers[grp][r] = gr.AddSwitch(fmt.Sprintf("r-%d-%d", grp, r), grp, r)
+		}
+	}
+	// Intra-group complete graph.
+	for grp := 0; grp < g; grp++ {
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				gr.Connect(routers[grp][i], routers[grp][j])
+			}
+		}
+	}
+	// Global links: each unordered pair of groups receives one link.
+	// Every group owns a*h global-link slots (h per router); pair
+	// (gi, gj) consumes the next free slot on each side, and the slot
+	// index determines which router hosts the link (slot/h). With
+	// g <= a*h+1 every group has enough slots for its g-1 peers, giving
+	// the canonical fully-connected group graph.
+	slot := make([]int, g)
+	for gi := 0; gi < g; gi++ {
+		for gj := gi + 1; gj < g; gj++ {
+			ri := slot[gi] / h
+			rj := slot[gj] / h
+			slot[gi]++
+			slot[gj]++
+			gr.Connect(routers[gi][ri], routers[gj][rj])
+		}
+	}
+	for grp := 0; grp < g; grp++ {
+		for r := 0; r < a; r++ {
+			for k := 0; k < p; k++ {
+				hn := gr.AddHost(fmt.Sprintf("h-%d-%d-%d", grp, r, k), grp, r, k)
+				gr.Connect(routers[grp][r], hn)
+			}
+		}
+	}
+	return gr
+}
+
+// Mesh2D builds a w x h 2D mesh with hostsPer hosts attached to each
+// switch. Switch coordinates are {x, y}; hosts carry {x, y, slot}.
+func Mesh2D(w, h, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("mesh2d-%dx%d", w, h))
+	grid := gridSwitches(g, w, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x+1 < w {
+				g.Connect(grid[x][y], grid[x+1][y])
+			}
+			if y+1 < h {
+				g.Connect(grid[x][y], grid[x][y+1])
+			}
+		}
+	}
+	attachGridHosts(g, grid, hostsPer)
+	return g
+}
+
+// Torus2D builds a w x h 2D torus (wrap-around mesh). For w or h equal
+// to 2 the wrap link would duplicate the mesh link, so it is skipped,
+// matching common practice.
+func Torus2D(w, h, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("torus2d-%dx%d", w, h))
+	grid := gridSwitches(g, w, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			nx := (x + 1) % w
+			ny := (y + 1) % h
+			if w > 1 && (x+1 < w || w > 2) {
+				g.Connect(grid[x][y], grid[nx][y])
+			}
+			if h > 1 && (y+1 < h || h > 2) {
+				g.Connect(grid[x][y], grid[x][ny])
+			}
+		}
+	}
+	attachGridHosts(g, grid, hostsPer)
+	return g
+}
+
+// Mesh3D builds an x*y*z 3D mesh. Switch coordinates are {i, j, k}.
+func Mesh3D(x, y, z, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("mesh3d-%dx%dx%d", x, y, z))
+	grid := grid3D(g, x, y, z)
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if i+1 < x {
+					g.Connect(grid[i][j][k], grid[i+1][j][k])
+				}
+				if j+1 < y {
+					g.Connect(grid[i][j][k], grid[i][j+1][k])
+				}
+				if k+1 < z {
+					g.Connect(grid[i][j][k], grid[i][j][k+1])
+				}
+			}
+		}
+	}
+	attach3DHosts(g, grid, hostsPer)
+	return g
+}
+
+// Torus3D builds an x*y*z 3D torus (wrap-around in all dimensions, wrap
+// skipped on dimensions of size <= 2 as in Torus2D).
+func Torus3D(x, y, z, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("torus3d-%dx%dx%d", x, y, z))
+	grid := grid3D(g, x, y, z)
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if x > 1 && (i+1 < x || x > 2) {
+					g.Connect(grid[i][j][k], grid[(i+1)%x][j][k])
+				}
+				if y > 1 && (j+1 < y || y > 2) {
+					g.Connect(grid[i][j][k], grid[i][(j+1)%y][k])
+				}
+				if z > 1 && (k+1 < z || z > 2) {
+					g.Connect(grid[i][j][k], grid[i][j][(k+1)%z])
+				}
+			}
+		}
+	}
+	attach3DHosts(g, grid, hostsPer)
+	return g
+}
+
+// BCube builds a BCube(n, k) (Guo et al., SIGCOMM'09): a server-centric
+// topology with n^(k+1) hosts and (k+1)*n^k switches. Because BCube
+// servers relay traffic, this model inserts a degree-(k+1) "host switch"
+// in front of each server so the forwarding role of servers is
+// preserved on an OpenFlow substrate; the server itself hangs off its
+// host switch. Level-l switch coordinates are {l, index}; host switches
+// carry {k+1, serverIndex}.
+func BCube(n, k int) *Graph {
+	if n < 2 || k < 0 {
+		panic(fmt.Sprintf("topology: BCube(%d,%d): need n>=2, k>=0", n, k))
+	}
+	g := New(fmt.Sprintf("bcube-n%d-k%d", n, k))
+	nHosts := pow(n, k+1)
+	hostSw := make([]int, nHosts)
+	for i := 0; i < nHosts; i++ {
+		hostSw[i] = g.AddSwitch(fmt.Sprintf("hsw-%d", i), k+1, i)
+	}
+	for l := 0; l <= k; l++ {
+		numSw := pow(n, k)
+		for s := 0; s < numSw; s++ {
+			sw := g.AddSwitch(fmt.Sprintf("sw-%d-%d", l, s), l, s)
+			// Switch s at level l connects servers whose digit l varies.
+			low := s % pow(n, l)
+			high := s / pow(n, l)
+			for d := 0; d < n; d++ {
+				server := high*pow(n, l+1) + d*pow(n, l) + low
+				g.Connect(sw, hostSw[server])
+			}
+		}
+	}
+	for i := 0; i < nHosts; i++ {
+		h := g.AddHost(fmt.Sprintf("h-%d", i), i)
+		g.Connect(hostSw[i], h)
+	}
+	return g
+}
+
+// HyperBCube builds a Hyper-BCube-style two-dimensional server-centric
+// topology (after Lin et al., ICC'12): n rows by n*l columns of servers,
+// each with two NICs. Level-0 switches join n row-adjacent servers into
+// cells; level-1 switches join the n rows at each column. To keep every
+// switch at radix n while remaining connected for l > 1, the cell
+// boundaries in row r are rotated by r columns (a twisted layout — a
+// simplified but structurally faithful variant of the published
+// wiring). Host switches front each server as in BCube.
+func HyperBCube(n, l int) *Graph {
+	if n < 2 || l < 1 {
+		panic(fmt.Sprintf("topology: HyperBCube(%d,%d): need n>=2, l>=1", n, l))
+	}
+	g := New(fmt.Sprintf("hyperbcube-n%d-l%d", n, l))
+	rows := n
+	cols := n * l
+	hostSw := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		hostSw[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			hostSw[r][c] = g.AddSwitch(fmt.Sprintf("hsw-%d-%d", r, c), r, c)
+		}
+	}
+	// Level-0: row r is split into l cells of n consecutive columns,
+	// rotated by r so cells in adjacent rows overlap via the columns.
+	for r := 0; r < rows; r++ {
+		for cell := 0; cell < l; cell++ {
+			sw := g.AddSwitch(fmt.Sprintf("sw0-%d-%d", r, cell), 100, r, cell)
+			for i := 0; i < n; i++ {
+				g.Connect(sw, hostSw[r][(cell*n+i+r)%cols])
+			}
+		}
+	}
+	// Level-1: each column is joined by a switch across rows.
+	for c := 0; c < cols; c++ {
+		sw := g.AddSwitch(fmt.Sprintf("sw1-%d", c), 101, c)
+		for r := 0; r < rows; r++ {
+			g.Connect(sw, hostSw[r][c])
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			h := g.AddHost(fmt.Sprintf("h-%d-%d", r, c), r, c)
+			g.Connect(hostSw[r][c], h)
+		}
+	}
+	return g
+}
+
+// Line builds n switches in a path, hostsPer hosts each. The paper's
+// Fig. 10 latency topology is Line(8, 1).
+func Line(n, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("line-%d", n))
+	prev := -1
+	for i := 0; i < n; i++ {
+		s := g.AddSwitch(fmt.Sprintf("s%d", i), i)
+		if prev >= 0 {
+			g.Connect(prev, s)
+		}
+		for h := 0; h < hostsPer; h++ {
+			hv := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i, h)
+			g.Connect(s, hv)
+		}
+		prev = s
+	}
+	return g
+}
+
+// Ring builds n switches in a cycle with hostsPer hosts each.
+func Ring(n, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("ring-%d", n))
+	sw := make([]int, n)
+	for i := 0; i < n; i++ {
+		sw[i] = g.AddSwitch(fmt.Sprintf("s%d", i), i)
+	}
+	for i := 0; i < n; i++ {
+		if n > 1 && (i+1 < n || n > 2) {
+			g.Connect(sw[i], sw[(i+1)%n])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for h := 0; h < hostsPer; h++ {
+			hv := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i, h)
+			g.Connect(sw[i], hv)
+		}
+	}
+	return g
+}
+
+// Star builds one hub switch with n leaf switches, hostsPer hosts per leaf.
+func Star(n, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("star-%d", n))
+	hub := g.AddSwitch("hub", 0)
+	for i := 0; i < n; i++ {
+		leaf := g.AddSwitch(fmt.Sprintf("leaf%d", i), i+1)
+		g.Connect(hub, leaf)
+		for h := 0; h < hostsPer; h++ {
+			hv := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i, h)
+			g.Connect(leaf, hv)
+		}
+	}
+	return g
+}
+
+// FullMesh builds n switches, each pair directly linked, hostsPer hosts each.
+func FullMesh(n, hostsPer int) *Graph {
+	g := New(fmt.Sprintf("fullmesh-%d", n))
+	sw := make([]int, n)
+	for i := 0; i < n; i++ {
+		sw[i] = g.AddSwitch(fmt.Sprintf("s%d", i), i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Connect(sw[i], sw[j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for h := 0; h < hostsPer; h++ {
+			hv := g.AddHost(fmt.Sprintf("h%d-%d", i, h), i, h)
+			g.Connect(sw[i], hv)
+		}
+	}
+	return g
+}
+
+func gridSwitches(g *Graph, w, h int) [][]int {
+	grid := make([][]int, w)
+	for x := 0; x < w; x++ {
+		grid[x] = make([]int, h)
+		for y := 0; y < h; y++ {
+			grid[x][y] = g.AddSwitch(fmt.Sprintf("s-%d-%d", x, y), x, y)
+		}
+	}
+	return grid
+}
+
+func attachGridHosts(g *Graph, grid [][]int, hostsPer int) {
+	for x := range grid {
+		for y := range grid[x] {
+			for k := 0; k < hostsPer; k++ {
+				h := g.AddHost(fmt.Sprintf("h-%d-%d-%d", x, y, k), x, y, k)
+				g.Connect(grid[x][y], h)
+			}
+		}
+	}
+}
+
+func grid3D(g *Graph, x, y, z int) [][][]int {
+	grid := make([][][]int, x)
+	for i := 0; i < x; i++ {
+		grid[i] = make([][]int, y)
+		for j := 0; j < y; j++ {
+			grid[i][j] = make([]int, z)
+			for k := 0; k < z; k++ {
+				grid[i][j][k] = g.AddSwitch(fmt.Sprintf("s-%d-%d-%d", i, j, k), i, j, k)
+			}
+		}
+	}
+	return grid
+}
+
+func attach3DHosts(g *Graph, grid [][][]int, hostsPer int) {
+	for i := range grid {
+		for j := range grid[i] {
+			for k := range grid[i][j] {
+				for n := 0; n < hostsPer; n++ {
+					h := g.AddHost(fmt.Sprintf("h-%d-%d-%d-%d", i, j, k, n), i, j, k, n)
+					g.Connect(grid[i][j][k], h)
+				}
+			}
+		}
+	}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

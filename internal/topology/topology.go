@@ -1,0 +1,481 @@
+// Package topology models logical network topologies for Topology
+// Projection (TP).
+//
+// A Graph holds two kinds of vertices — switches and hosts — joined by
+// undirected edges. Every edge occupies one numbered port at each
+// endpoint, mirroring how the SDT paper labels logical-switch ports
+// before projecting them onto a physical switch (§IV). Generators for
+// the topologies evaluated in the paper (Fat-Tree, Dragonfly, Mesh,
+// Torus, BCube, HyperBCube and a synthetic Internet Topology Zoo) live
+// in generators.go and zoo.go.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes switch vertices from host (compute node) vertices.
+type Kind int
+
+const (
+	// Switch vertices forward traffic and are the targets of projection.
+	Switch Kind = iota
+	// Host vertices terminate traffic (compute nodes / VMs).
+	Host
+)
+
+// String returns "switch" or "host".
+func (k Kind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Vertex is one node of the logical topology.
+type Vertex struct {
+	ID    int    // dense index into Graph.Vertices
+	Kind  Kind   // switch or host
+	Label string // human-readable name, unique within the graph
+	// Coord carries generator-specific coordinates: mesh/torus positions,
+	// Dragonfly (group, router), Fat-Tree (layer, pod, index), etc.
+	// Routing strategies consume these coordinates.
+	Coord []int
+}
+
+// Edge is an undirected logical link. It occupies port APort on vertex A
+// and port BPort on vertex B. Ports are numbered from 1 within each
+// vertex, matching the paper's port-labelling convention.
+type Edge struct {
+	ID    int
+	A, B  int
+	APort int
+	BPort int
+}
+
+// Other returns the endpoint of e opposite to vertex v.
+func (e Edge) Other(v int) int {
+	if e.A == v {
+		return e.B
+	}
+	return e.A
+}
+
+// PortAt returns the port number edge e occupies on vertex v.
+func (e Edge) PortAt(v int) int {
+	if e.A == v {
+		return e.APort
+	}
+	return e.BPort
+}
+
+// Graph is a logical topology: the input to Topology Projection.
+type Graph struct {
+	Name     string
+	Vertices []Vertex
+	Edges    []Edge
+
+	adj       [][]int // vertex -> incident edge IDs
+	nextPort  []int   // next free port per vertex
+	adjDirty  bool
+	switchIDs []int
+	hostIDs   []int
+}
+
+// New returns an empty topology with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name}
+}
+
+// AddSwitch appends a switch vertex and returns its ID.
+func (g *Graph) AddSwitch(label string, coord ...int) int {
+	return g.addVertex(Switch, label, coord)
+}
+
+// AddHost appends a host vertex and returns its ID.
+func (g *Graph) AddHost(label string, coord ...int) int {
+	return g.addVertex(Host, label, coord)
+}
+
+func (g *Graph) addVertex(k Kind, label string, coord []int) int {
+	id := len(g.Vertices)
+	if label == "" {
+		label = fmt.Sprintf("%s%d", k, id)
+	}
+	g.Vertices = append(g.Vertices, Vertex{ID: id, Kind: k, Label: label, Coord: coord})
+	g.nextPort = append(g.nextPort, 1)
+	g.adjDirty = true
+	return id
+}
+
+// Connect adds an undirected edge between vertices a and b, assigning the
+// next free port on each side, and returns the edge ID.
+func (g *Graph) Connect(a, b int) int {
+	pa := g.nextPort[a]
+	pb := g.nextPort[b]
+	if a == b {
+		pb = pa + 1
+	}
+	return g.ConnectPorts(a, pa, b, pb)
+}
+
+// ConnectPorts adds an undirected edge with explicit port numbers.
+// It panics if a vertex ID is out of range; port conflicts are caught by
+// Validate.
+func (g *Graph) ConnectPorts(a, aPort, b, bPort int) int {
+	if a < 0 || a >= len(g.Vertices) || b < 0 || b >= len(g.Vertices) {
+		panic(fmt.Sprintf("topology: Connect(%d,%d) out of range", a, b))
+	}
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{ID: id, A: a, APort: aPort, B: b, BPort: bPort})
+	if aPort >= g.nextPort[a] {
+		g.nextPort[a] = aPort + 1
+	}
+	if bPort >= g.nextPort[b] {
+		g.nextPort[b] = bPort + 1
+	}
+	g.adjDirty = true
+	return id
+}
+
+func (g *Graph) rebuild() {
+	if !g.adjDirty {
+		return
+	}
+	g.adj = make([][]int, len(g.Vertices))
+	for _, e := range g.Edges {
+		g.adj[e.A] = append(g.adj[e.A], e.ID)
+		if e.B != e.A {
+			g.adj[e.B] = append(g.adj[e.B], e.ID)
+		}
+	}
+	g.switchIDs = g.switchIDs[:0]
+	g.hostIDs = g.hostIDs[:0]
+	for _, v := range g.Vertices {
+		if v.Kind == Switch {
+			g.switchIDs = append(g.switchIDs, v.ID)
+		} else {
+			g.hostIDs = append(g.hostIDs, v.ID)
+		}
+	}
+	g.adjDirty = false
+}
+
+// IncidentEdges returns the IDs of edges incident to vertex v.
+func (g *Graph) IncidentEdges(v int) []int {
+	g.rebuild()
+	return g.adj[v]
+}
+
+// Neighbors returns the vertex IDs adjacent to v (with multiplicity for
+// parallel edges).
+func (g *Graph) Neighbors(v int) []int {
+	g.rebuild()
+	out := make([]int, 0, len(g.adj[v]))
+	for _, eid := range g.adj[v] {
+		out = append(out, g.Edges[eid].Other(v))
+	}
+	return out
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int {
+	g.rebuild()
+	return len(g.adj[v])
+}
+
+// Switches returns the IDs of all switch vertices in ascending order.
+func (g *Graph) Switches() []int {
+	g.rebuild()
+	return g.switchIDs
+}
+
+// Hosts returns the IDs of all host vertices in ascending order.
+func (g *Graph) Hosts() []int {
+	g.rebuild()
+	return g.hostIDs
+}
+
+// NumSwitches reports the number of switch vertices.
+func (g *Graph) NumSwitches() int { return len(g.Switches()) }
+
+// NumHosts reports the number of host vertices.
+func (g *Graph) NumHosts() int { return len(g.Hosts()) }
+
+// SwitchPortCount returns the total number of ports occupied on switch
+// vertices, excluding ports that face hosts. This is the quantity the
+// paper compares against the physical switch port budget (§IV-A): "a
+// topology can be appropriately built if the total number of ports in
+// the topology is less than or equal to the number of ports on the
+// physical switch (excluding the ports connected to the end hosts)".
+func (g *Graph) SwitchPortCount() int {
+	n := 0
+	for _, e := range g.Edges {
+		if g.Vertices[e.A].Kind == Switch && g.Vertices[e.B].Kind == Switch {
+			n += 2
+		}
+	}
+	return n
+}
+
+// HostFacingPorts returns the number of switch ports that face hosts.
+func (g *Graph) HostFacingPorts() int {
+	n := 0
+	for _, e := range g.Edges {
+		ka, kb := g.Vertices[e.A].Kind, g.Vertices[e.B].Kind
+		if ka != kb {
+			n++
+		}
+	}
+	return n
+}
+
+// SwitchSwitchEdges returns the IDs of edges whose both endpoints are
+// switches (the links projection must realise).
+func (g *Graph) SwitchSwitchEdges() []int {
+	var out []int
+	for _, e := range g.Edges {
+		if g.Vertices[e.A].Kind == Switch && g.Vertices[e.B].Kind == Switch {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Radix returns the maximum switch degree (ports per logical switch).
+func (g *Graph) Radix() int {
+	r := 0
+	for _, v := range g.Switches() {
+		if d := g.Degree(v); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// EdgeBetween returns the ID of an edge joining a and b, or -1.
+func (g *Graph) EdgeBetween(a, b int) int {
+	g.rebuild()
+	for _, eid := range g.adj[a] {
+		if g.Edges[eid].Other(a) == b {
+			return eid
+		}
+	}
+	return -1
+}
+
+// VertexByLabel returns the vertex with the given label, or -1.
+func (g *Graph) VertexByLabel(label string) int {
+	for _, v := range g.Vertices {
+		if v.Label == label {
+			return v.ID
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: endpoint ranges, port numbers
+// positive and unique per vertex, unique labels, and hosts having at
+// most one link. A nil return means the topology is projectable input.
+func (g *Graph) Validate() error {
+	labels := make(map[string]int, len(g.Vertices))
+	for _, v := range g.Vertices {
+		if prev, dup := labels[v.Label]; dup {
+			return fmt.Errorf("topology %q: duplicate label %q on vertices %d and %d", g.Name, v.Label, prev, v.ID)
+		}
+		labels[v.Label] = v.ID
+	}
+	ports := make(map[[2]int]int)
+	for _, e := range g.Edges {
+		if e.A < 0 || e.A >= len(g.Vertices) || e.B < 0 || e.B >= len(g.Vertices) {
+			return fmt.Errorf("topology %q: edge %d endpoint out of range", g.Name, e.ID)
+		}
+		if e.APort < 1 || e.BPort < 1 {
+			return fmt.Errorf("topology %q: edge %d has non-positive port", g.Name, e.ID)
+		}
+		for _, pp := range [][2]int{{e.A, e.APort}, {e.B, e.BPort}} {
+			if e.A == e.B && pp[1] == e.APort && pp[0] == e.B && e.APort == e.BPort {
+				return fmt.Errorf("topology %q: edge %d is a same-port self loop", g.Name, e.ID)
+			}
+			if prev, dup := ports[pp]; dup && prev != e.ID {
+				return fmt.Errorf("topology %q: port %d on vertex %d used by edges %d and %d",
+					g.Name, pp[1], pp[0], prev, e.ID)
+			}
+			ports[pp] = e.ID
+		}
+	}
+	for _, h := range g.Hosts() {
+		if g.Degree(h) > 1 {
+			return fmt.Errorf("topology %q: host %d has %d links (max 1)", g.Name, h, g.Degree(h))
+		}
+	}
+	return nil
+}
+
+// HostSwitch returns the switch a host is attached to, or -1 for an
+// orphan host.
+func (g *Graph) HostSwitch(h int) int {
+	for _, eid := range g.IncidentEdges(h) {
+		o := g.Edges[eid].Other(h)
+		if g.Vertices[o].Kind == Switch {
+			return o
+		}
+	}
+	return -1
+}
+
+// AttachedHosts returns hosts directly connected to switch s, sorted.
+func (g *Graph) AttachedHosts(s int) []int {
+	var out []int
+	for _, eid := range g.IncidentEdges(s) {
+		o := g.Edges[eid].Other(s)
+		if g.Vertices[o].Kind == Host {
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConnectedComponents returns one sorted vertex-ID slice per connected
+// component, considering all vertices.
+func (g *Graph) ConnectedComponents() [][]int {
+	g.rebuild()
+	seen := make([]bool, len(g.Vertices))
+	var comps [][]int
+	for start := range g.Vertices {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, eid := range g.adj[v] {
+				o := g.Edges[eid].Other(v)
+				if !seen[o] {
+					seen[o] = true
+					queue = append(queue, o)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// SwitchSubgraphConnected reports whether the switch-only subgraph is
+// connected (hosts ignored). The projection checker uses this to reject
+// accidentally split topologies unless the user asks for isolation.
+func (g *Graph) SwitchSubgraphConnected() bool {
+	sw := g.Switches()
+	if len(sw) <= 1 {
+		return true
+	}
+	seen := make(map[int]bool, len(sw))
+	queue := []int{sw[0]}
+	seen[sw[0]] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.IncidentEdges(v) {
+			o := g.Edges[eid].Other(v)
+			if g.Vertices[o].Kind != Switch || seen[o] {
+				continue
+			}
+			seen[o] = true
+			queue = append(queue, o)
+		}
+	}
+	return len(seen) == len(sw)
+}
+
+// ShortestPaths runs BFS over the switch subgraph from switch src and
+// returns hop distances indexed by vertex ID (-1 for unreachable or
+// host vertices).
+func (g *Graph) ShortestPaths(src int) []int {
+	dist := make([]int, len(g.Vertices))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.Vertices[src].Kind != Switch {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.IncidentEdges(v) {
+			o := g.Edges[eid].Other(v)
+			if g.Vertices[o].Kind != Switch || dist[o] >= 0 {
+				continue
+			}
+			dist[o] = dist[v] + 1
+			queue = append(queue, o)
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximum switch-to-switch hop distance, or 0 for
+// graphs with fewer than two switches.
+func (g *Graph) Diameter() int {
+	d := 0
+	for _, s := range g.Switches() {
+		for _, x := range g.ShortestPaths(s) {
+			if x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New(g.Name)
+	out.Vertices = make([]Vertex, len(g.Vertices))
+	for i, v := range g.Vertices {
+		cv := v
+		cv.Coord = append([]int(nil), v.Coord...)
+		out.Vertices[i] = cv
+	}
+	out.Edges = append([]Edge(nil), g.Edges...)
+	out.nextPort = append([]int(nil), g.nextPort...)
+	out.adjDirty = true
+	return out
+}
+
+// Stats is a compact structural summary used in reports and tests.
+type Stats struct {
+	Switches, Hosts, Links int
+	SwitchLinks, HostLinks int
+	Radix, Diameter        int
+	SwitchPortsUsed        int
+}
+
+// Summary computes a Stats for the graph.
+func (g *Graph) Summary() Stats {
+	return Stats{
+		Switches:        g.NumSwitches(),
+		Hosts:           g.NumHosts(),
+		Links:           len(g.Edges),
+		SwitchLinks:     len(g.SwitchSwitchEdges()),
+		HostLinks:       g.HostFacingPorts(),
+		Radix:           g.Radix(),
+		Diameter:        g.Diameter(),
+		SwitchPortsUsed: g.SwitchPortCount(),
+	}
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (g *Graph) String() string {
+	s := g.Summary()
+	return fmt.Sprintf("%s{switches:%d hosts:%d links:%d radix:%d}", g.Name, s.Switches, s.Hosts, s.Links, s.Radix)
+}

@@ -1,0 +1,555 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFatTreeCounts(t *testing.T) {
+	// The paper: a k=4 fat-tree has 20 switches and 16 hosts (Fig. 1, §VII-C).
+	cases := []struct {
+		k, switches, hosts int
+	}{
+		{2, 5, 2},
+		{4, 20, 16},
+		{6, 45, 54},
+		{8, 80, 128},
+	}
+	for _, c := range cases {
+		g := FatTree(c.k)
+		if got := g.NumSwitches(); got != c.switches {
+			t.Errorf("FatTree(%d): switches = %d, want %d", c.k, got, c.switches)
+		}
+		if got := g.NumHosts(); got != c.hosts {
+			t.Errorf("FatTree(%d): hosts = %d, want %d", c.k, got, c.hosts)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("FatTree(%d): %v", c.k, err)
+		}
+		if g.Radix() != c.k {
+			t.Errorf("FatTree(%d): radix = %d, want %d", c.k, g.Radix(), c.k)
+		}
+	}
+}
+
+func TestFatTreeK4Links(t *testing.T) {
+	// Standard k=4 fat-tree: 32 switch-switch links + 16 host links = 48
+	// cables ("48 cables to deploy a standard Fat-Tree topology", §I).
+	g := FatTree(4)
+	if got := len(g.Edges); got != 48 {
+		t.Errorf("FatTree(4): links = %d, want 48", got)
+	}
+	if got := len(g.SwitchSwitchEdges()); got != 32 {
+		t.Errorf("FatTree(4): switch-switch links = %d, want 32", got)
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FatTree(3) did not panic")
+		}
+	}()
+	FatTree(3)
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	// Paper's evaluation config: a=4, g=9, h=2.
+	g := Dragonfly(4, 9, 2, 1)
+	if got := g.NumSwitches(); got != 36 {
+		t.Errorf("Dragonfly(4,9,2): switches = %d, want 36", got)
+	}
+	if got := g.NumHosts(); got != 36 {
+		t.Errorf("Dragonfly(4,9,2,1): hosts = %d, want 36", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every pair of groups must be joined by exactly one global link.
+	global := map[[2]int]int{}
+	for _, eid := range g.SwitchSwitchEdges() {
+		e := g.Edges[eid]
+		ga, gb := g.Vertices[e.A].Coord[0], g.Vertices[e.B].Coord[0]
+		if ga == gb {
+			continue
+		}
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		global[[2]int{ga, gb}]++
+	}
+	if len(global) != 36 { // C(9,2)
+		t.Errorf("Dragonfly group pairs connected = %d, want 36", len(global))
+	}
+	for pair, n := range global {
+		if n != 1 {
+			t.Errorf("groups %v joined by %d links, want 1", pair, n)
+		}
+	}
+	// Intra-group: complete graph over a=4 routers -> degree 3 local.
+	// Router degree = (a-1) local + at most h global + p hosts.
+	for _, s := range g.Switches() {
+		if d := g.Degree(s); d > 3+2+1 {
+			t.Errorf("router %d degree %d exceeds a-1+h+p", s, d)
+		}
+	}
+}
+
+func TestDragonflyGlobalSlotCapacity(t *testing.T) {
+	// No router may carry more than h global links.
+	for _, tc := range [][4]int{{4, 9, 2, 1}, {2, 5, 2, 1}, {3, 7, 2, 2}, {4, 4, 1, 1}} {
+		g := Dragonfly(tc[0], tc[1], tc[2], tc[3])
+		globalPerRouter := map[int]int{}
+		for _, eid := range g.SwitchSwitchEdges() {
+			e := g.Edges[eid]
+			if g.Vertices[e.A].Coord[0] != g.Vertices[e.B].Coord[0] {
+				globalPerRouter[e.A]++
+				globalPerRouter[e.B]++
+			}
+		}
+		for r, n := range globalPerRouter {
+			if n > tc[2] {
+				t.Errorf("Dragonfly%v: router %d has %d global links > h=%d", tc, r, n, tc[2])
+			}
+		}
+	}
+}
+
+func TestMeshTorusDegrees(t *testing.T) {
+	m := Mesh2D(4, 4, 0)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.SwitchSwitchEdges()); got != 24 {
+		t.Errorf("Mesh2D(4,4) links = %d, want 24", got)
+	}
+	tor := Torus2D(4, 4, 0)
+	if got := len(tor.SwitchSwitchEdges()); got != 32 {
+		t.Errorf("Torus2D(4,4) links = %d, want 32", got)
+	}
+	for _, s := range tor.Switches() {
+		if d := tor.Degree(s); d != 4 {
+			t.Errorf("Torus2D(4,4) switch %d degree = %d, want 4", s, d)
+		}
+	}
+	t3 := Torus3D(4, 4, 4, 0)
+	if got := t3.NumSwitches(); got != 64 {
+		t.Errorf("Torus3D(4,4,4) switches = %d, want 64", got)
+	}
+	for _, s := range t3.Switches() {
+		if d := t3.Degree(s); d != 6 {
+			t.Errorf("Torus3D switch %d degree = %d, want 6", s, d)
+		}
+	}
+	// 5x5 2D-Torus (paper Table IV workload).
+	t5 := Torus2D(5, 5, 1)
+	if got := t5.NumSwitches(); got != 25 {
+		t.Errorf("Torus2D(5,5) switches = %d, want 25", got)
+	}
+	if err := t5.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusSmallDimensionNoParallelEdges(t *testing.T) {
+	// Wrap links on dimension of size 2 would duplicate mesh links.
+	g := Torus2D(2, 3, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for _, eid := range g.SwitchSwitchEdges() {
+		e := g.Edges[eid]
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			t.Errorf("parallel edge between %d and %d", a, b)
+		}
+		seen[key] = true
+	}
+}
+
+func TestBCube(t *testing.T) {
+	g := BCube(4, 1)
+	// BCube(4,1): 16 servers, 2 levels x 4 switches.
+	if got := g.NumHosts(); got != 16 {
+		t.Errorf("BCube(4,1) hosts = %d, want 16", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.SwitchSubgraphConnected() {
+		t.Error("BCube switch subgraph not connected")
+	}
+}
+
+func TestHyperBCube(t *testing.T) {
+	g := HyperBCube(2, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumHosts(); got != 8 {
+		t.Errorf("HyperBCube(2,2) hosts = %d, want 8", got)
+	}
+	if !g.SwitchSubgraphConnected() {
+		t.Error("HyperBCube switch subgraph not connected")
+	}
+}
+
+func TestLineRingStar(t *testing.T) {
+	l := Line(8, 1)
+	if got := l.Diameter(); got != 7 {
+		t.Errorf("Line(8) diameter = %d, want 7", got)
+	}
+	r := Ring(6, 1)
+	if got := r.Diameter(); got != 3 {
+		t.Errorf("Ring(6) diameter = %d, want 3", got)
+	}
+	s := Star(5, 2)
+	if got := s.Diameter(); got != 2 {
+		t.Errorf("Star(5) diameter = %d, want 2", got)
+	}
+	f := FullMesh(5, 1)
+	if got := f.Diameter(); got != 1 {
+		t.Errorf("FullMesh(5) diameter = %d, want 1", got)
+	}
+}
+
+func TestValidateCatchesPortConflicts(t *testing.T) {
+	g := New("bad")
+	a := g.AddSwitch("a")
+	b := g.AddSwitch("b")
+	c := g.AddSwitch("c")
+	g.ConnectPorts(a, 1, b, 1)
+	g.ConnectPorts(a, 1, c, 1) // port 1 on a reused
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted duplicate port use")
+	}
+}
+
+func TestValidateCatchesDuplicateLabels(t *testing.T) {
+	g := New("bad")
+	g.AddSwitch("x")
+	g.AddSwitch("x")
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted duplicate labels")
+	}
+}
+
+func TestValidateCatchesMultiHomedHost(t *testing.T) {
+	g := New("bad")
+	s1 := g.AddSwitch("s1")
+	s2 := g.AddSwitch("s2")
+	h := g.AddHost("h")
+	g.Connect(s1, h)
+	g.Connect(s2, h)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted multi-homed host")
+	}
+}
+
+func TestHostSwitchAndAttachedHosts(t *testing.T) {
+	g := Line(3, 2)
+	for _, h := range g.Hosts() {
+		s := g.HostSwitch(h)
+		if s < 0 {
+			t.Fatalf("host %d has no switch", h)
+		}
+		found := false
+		for _, hh := range g.AttachedHosts(s) {
+			if hh == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("host %d missing from AttachedHosts(%d)", h, s)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New("two-islands")
+	a := g.AddSwitch("a")
+	b := g.AddSwitch("b")
+	c := g.AddSwitch("c")
+	d := g.AddSwitch("d")
+	g.Connect(a, b)
+	g.Connect(c, d)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if g.SwitchSubgraphConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestShortestPathsAndDiameter(t *testing.T) {
+	g := Torus2D(4, 4, 0)
+	// Torus 4x4 diameter is 2+2 = 4.
+	if got := g.Diameter(); got != 4 {
+		t.Errorf("Torus2D(4,4) diameter = %d, want 4", got)
+	}
+	dist := g.ShortestPaths(g.Switches()[0])
+	for _, s := range g.Switches() {
+		if dist[s] < 0 || dist[s] > 4 {
+			t.Errorf("distance to %d = %d out of range", s, dist[s])
+		}
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	orig := FatTree(4)
+	var buf bytes.Buffer
+	if err := orig.ToConfig().WriteConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSwitches() != orig.NumSwitches() || g.NumHosts() != orig.NumHosts() || len(g.Edges) != len(orig.Edges) {
+		t.Errorf("round trip changed shape: %v vs %v", g.Summary(), orig.Summary())
+	}
+	// Ports must survive exactly.
+	for i, e := range g.Edges {
+		oe := orig.Edges[i]
+		if e.APort != oe.APort || e.BPort != oe.BPort {
+			t.Fatalf("edge %d ports changed: %+v vs %+v", i, e, oe)
+		}
+	}
+}
+
+func TestConfigGenerators(t *testing.T) {
+	cases := []Config{
+		{Name: "ft", Generator: "fattree", Params: []int{4}},
+		{Name: "df", Generator: "dragonfly", Params: []int{4, 9, 2, 1}},
+		{Name: "t2", Generator: "torus2d", Params: []int{5, 5, 1}},
+		{Name: "t3", Generator: "torus3d", Params: []int{4, 4, 4, 1}},
+		{Name: "m2", Generator: "mesh2d", Params: []int{3, 3, 1}},
+		{Name: "m3", Generator: "mesh3d", Params: []int{2, 2, 2, 1}},
+		{Name: "bc", Generator: "bcube", Params: []int{4, 1}},
+		{Name: "hb", Generator: "hyperbcube", Params: []int{2, 2}},
+		{Name: "ln", Generator: "line", Params: []int{8, 1}},
+		{Name: "rg", Generator: "ring", Params: []int{6, 1}},
+		{Name: "st", Generator: "star", Params: []int{4, 1}},
+		{Name: "fm", Generator: "fullmesh", Params: []int{4, 1}},
+	}
+	for _, c := range cases {
+		g, err := c.Build()
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if g.Name != c.Name {
+			t.Errorf("generator %s: name = %q, want %q", c.Generator, g.Name, c.Name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Name: "x", Generator: "nope"},
+		{Name: "x", Generator: "fattree", Params: []int{1, 2}},
+		{Name: "x", Switches: []string{"a", "a"}},
+		{Name: "x", Switches: []string{"a"}, Links: []LinkConfig{{A: "a", B: "zz"}}},
+		{Name: "x", Switches: []string{"a", "b"}, Links: []LinkConfig{{A: "a", B: "b", APort: 1}}},
+	}
+	for i, c := range bad {
+		if _, err := c.Build(); err == nil {
+			t.Errorf("case %d: Build accepted invalid config", i)
+		}
+	}
+}
+
+func TestZooProperties(t *testing.T) {
+	zoo := Zoo(42)
+	if len(zoo) != ZooSize {
+		t.Fatalf("zoo size = %d, want %d", len(zoo), ZooSize)
+	}
+	for _, g := range zoo {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if !g.SwitchSubgraphConnected() {
+			t.Errorf("%s: not connected", g.Name)
+		}
+		n := g.NumSwitches()
+		if n < 4 || n > 196 {
+			t.Errorf("%s: %d switches outside zoo range", g.Name, n)
+		}
+	}
+	// Determinism.
+	again := Zoo(42)
+	for i := range zoo {
+		if zoo[i].Summary() != again[i].Summary() {
+			t.Fatalf("zoo not deterministic at %d", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := FatTree(4)
+	c := g.Clone()
+	c.AddSwitch("extra")
+	c.Connect(0, len(c.Vertices)-1)
+	if len(c.Vertices) == len(g.Vertices) || len(c.Edges) == len(g.Edges) {
+		t.Error("clone shares structure with original")
+	}
+	if g.Vertices[0].Coord != nil && &g.Vertices[0].Coord[0] == &c.Vertices[0].Coord[0] {
+		t.Error("clone shares coord storage")
+	}
+}
+
+// Property: for any random WAN graph, the sum of degrees equals twice the
+// edge count, and every edge's ports are consistent under Other/PortAt.
+func TestQuickDegreeSum(t *testing.T) {
+	f := func(seed int64, nRaw, extraRaw uint8) bool {
+		n := 2 + int(nRaw)%40
+		extra := int(extraRaw) % 20
+		g := RandomWAN("q", n, extra, seed)
+		sum := 0
+		for i := range g.Vertices {
+			sum += g.Degree(i)
+		}
+		if sum != 2*len(g.Edges) {
+			return false
+		}
+		for _, e := range g.Edges {
+			if e.Other(e.A) != e.B || e.Other(e.B) != e.A {
+				return false
+			}
+			if e.PortAt(e.A) != e.APort || (e.A != e.B && e.PortAt(e.B) != e.BPort) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RandomWAN is always connected and validates.
+func TestQuickRandomWANValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%60
+		g := RandomWAN("q", n, n/3, seed)
+		return g.Validate() == nil && g.SwitchSubgraphConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: config round-trip preserves the structural summary for
+// arbitrary random graphs.
+func TestQuickConfigRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%30
+		g := RandomWAN("q", n, n/4, seed)
+		var buf bytes.Buffer
+		if err := g.ToConfig().WriteConfig(&buf); err != nil {
+			return false
+		}
+		c, err := ReadConfig(&buf)
+		if err != nil {
+			return false
+		}
+		g2, err := c.Build()
+		if err != nil {
+			return false
+		}
+		return g2.Summary() == g.Summary()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwitchPortCountExcludesHosts(t *testing.T) {
+	g := Line(3, 2) // 2 switch links -> 4 switch ports; 6 host links excluded
+	if got := g.SwitchPortCount(); got != 4 {
+		t.Errorf("SwitchPortCount = %d, want 4", got)
+	}
+	if got := g.HostFacingPorts(); got != 6 {
+		t.Errorf("HostFacingPorts = %d, want 6", got)
+	}
+}
+
+func TestStringAndSummary(t *testing.T) {
+	g := FatTree(4)
+	s := g.Summary()
+	if s.SwitchPortsUsed != 64 { // 32 switch-switch links x 2 ports
+		t.Errorf("SwitchPortsUsed = %d, want 64", s.SwitchPortsUsed)
+	}
+	str := g.String()
+	if str == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestVertexByLabel(t *testing.T) {
+	g := Line(3, 1)
+	if id := g.VertexByLabel("s1"); id < 0 || g.Vertices[id].Label != "s1" {
+		t.Errorf("VertexByLabel(s1) = %d", id)
+	}
+	if id := g.VertexByLabel("missing"); id != -1 {
+		t.Errorf("VertexByLabel(missing) = %d, want -1", id)
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := Ring(5, 0)
+	sw := g.Switches()
+	if g.EdgeBetween(sw[0], sw[1]) < 0 {
+		t.Error("adjacent ring switches not connected")
+	}
+	if g.EdgeBetween(sw[0], sw[2]) >= 0 {
+		t.Error("non-adjacent ring switches reported connected")
+	}
+}
+
+func ExampleFatTree() {
+	g := FatTree(4)
+	fmt.Println(g.NumSwitches(), g.NumHosts())
+	// Output: 20 16
+}
+
+func BenchmarkFatTreeGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FatTree(8)
+	}
+}
+
+func BenchmarkZooGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Zoo(int64(i))
+	}
+}
+
+var benchSink int
+
+func BenchmarkShortestPaths(b *testing.B) {
+	g := Torus3D(8, 8, 8, 0)
+	rng := rand.New(rand.NewSource(1))
+	sw := g.Switches()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := g.ShortestPaths(sw[rng.Intn(len(sw))])
+		benchSink += d[0]
+	}
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestAllGeneratorsValidate(t *testing.T) {
+	traces := []*Trace{
+		Pingpong(1024, 5),
+		Alltoall(8, 4096, 2),
+		AllreduceRing(8, 64*1024, 2, nil),
+		HaloExchange2D(16, 8192, 3, netsim.Millisecond),
+		MiniGhost(16),
+		HPCG(16),
+		HPL(16),
+		MiniFE(16),
+		IMBAlltoall(8),
+	}
+	for _, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+		if tr.Ops() == 0 {
+			t.Errorf("%s: empty trace", tr.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range TableIVApps() {
+		tr, err := ByName(name, 8)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tr.Ranks != 8 {
+			t.Errorf("%s: ranks = %d", name, tr.Ranks)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nosuch", 4); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := HPCG(9)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Ranks != orig.Ranks {
+		t.Fatalf("header changed: %s/%d", got.Name, got.Ranks)
+	}
+	if got.Ops() != orig.Ops() || got.TotalBytes() != orig.TotalBytes() {
+		t.Fatalf("ops/bytes changed: %d/%d vs %d/%d", got.Ops(), got.TotalBytes(), orig.Ops(), orig.TotalBytes())
+	}
+	for r := range orig.Programs {
+		for i := range orig.Programs[r] {
+			if got.Programs[r][i] != orig.Programs[r][i] {
+				t.Fatalf("rank %d op %d changed: %+v vs %+v", r, i, got.Programs[r][i], orig.Programs[r][i])
+			}
+		}
+	}
+}
+
+func TestValidateCatchesImbalance(t *testing.T) {
+	tr := &Trace{Name: "bad", Ranks: 2, Programs: [][]netsim.Op{
+		{{Kind: netsim.OpSend, Peer: 1, Bytes: 10, MTag: 1}},
+		{}, // missing recv
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Error("unmatched send accepted")
+	}
+	tr2 := &Trace{Name: "bad2", Ranks: 2, Programs: [][]netsim.Op{
+		{{Kind: netsim.OpSend, Peer: 5, Bytes: 10, MTag: 1}},
+		{},
+	}}
+	if err := tr2.Validate(); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+}
+
+// replay runs a trace on a fat-tree and returns the ACT.
+func replay(t *testing.T, tr *Trace) netsim.Time {
+	t.Helper()
+	g := topology.FatTree(4)
+	routes, err := routing.FatTreeDFS{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()[:tr.Ranks]
+	app := netsim.NewApp(net, hosts, tr.Programs, nil)
+	app.Start()
+	net.Sim.Run(0)
+	act := app.ACT()
+	if act <= 0 {
+		t.Fatalf("%s did not complete", tr.Name)
+	}
+	return act
+}
+
+func TestTableIVAppsReplayToCompletion(t *testing.T) {
+	for _, name := range TableIVApps() {
+		tr, err := ByName(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		act := replay(t, tr)
+		// Table IV real ACTs are 0.11–16 s; our scaled-down versions
+		// should land between 10 ms and 5 s.
+		if act < 10*netsim.Millisecond || act > 5*netsim.Second {
+			t.Errorf("%s ACT = %v, outside plausible scaled range", name, act)
+		}
+	}
+}
+
+func TestPingpongReplayRTT(t *testing.T) {
+	tr := Pingpong(64, 10)
+	act := replay(t, tr)
+	// 10 round trips of a tiny message inside one pod: well under 1 ms.
+	if act > netsim.Millisecond {
+		t.Errorf("pingpong ACT = %v, too slow", act)
+	}
+}
+
+func TestAlltoallScalesWithBytes(t *testing.T) {
+	small := replay(t, Alltoall(8, 4096, 1))
+	big := replay(t, Alltoall(8, 256*1024, 1))
+	if big <= small {
+		t.Errorf("alltoall ACT did not grow with message size: %v vs %v", small, big)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	cases := map[int][2]int{16: {4, 4}, 32: {4, 8}, 9: {3, 3}, 7: {1, 7}, 12: {3, 4}}
+	for n, want := range cases {
+		px, py := grid2D(n)
+		if px*py != n || px != want[0] || py != want[1] {
+			t.Errorf("grid2D(%d) = (%d,%d), want %v", n, px, py, want)
+		}
+	}
+}
+
+// Property: alltoall traces always balance for any size/count.
+func TestQuickAlltoallBalanced(t *testing.T) {
+	f := func(nRaw, bRaw uint8) bool {
+		n := 2 + int(nRaw)%10
+		b := 1 + int(bRaw)
+		tr := Alltoall(n, b, 1)
+		return tr.Validate() == nil && tr.TotalBytes() == int64(n*(n-1)*b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace round-trip through the file format is lossless.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw)%8
+		tr := HPL(n)
+		var buf bytes.Buffer
+		if tr.Write(&buf) != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Ops() == tr.Ops() && got.TotalBytes() == tr.TotalBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHPCGGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HPCG(32)
+	}
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	tr := HPCG(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package sdt is the public facade of the SDT (Software Defined
+// Topology Testbed) library — a reproduction of Chen et al., "SDT: A
+// Low-cost and Topology-reconfigurable Testbed for Network Research"
+// (IEEE CLUSTER 2023).
+//
+// The facade re-exports the entry points a downstream user needs:
+// building logical topologies, planning a physical cabling, projecting
+// topologies onto commodity OpenFlow switches via Link Projection,
+// computing Table III routing strategies with verified deadlock
+// freedom, and running workloads on the packet-level engine in full-
+// testbed, SDT, or simulator mode.
+//
+// Quickstart:
+//
+//	topo := sdt.FatTree(4)
+//	tb, err := sdt.PaperTestbed([]*sdt.Topology{topo})
+//	...
+//	res, err := tb.RunTrace(topo, sdt.AlltoallTrace(8, 64<<10, 4), nil, sdt.ModeSDT)
+//
+// The full implementation lives in the internal packages; see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduced
+// evaluation.
+package sdt
+
+import (
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/partition"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Topology is a logical network topology (switches + hosts + ports).
+type Topology = topology.Graph
+
+// TopologyConfig is the JSON topology description format.
+type TopologyConfig = topology.Config
+
+// Topology generators (the paper's Fig. 1 set and helpers).
+var (
+	NewTopology = topology.New
+	FatTree     = topology.FatTree
+	Dragonfly   = topology.Dragonfly
+	Mesh2D      = topology.Mesh2D
+	Mesh3D      = topology.Mesh3D
+	Torus2D     = topology.Torus2D
+	Torus3D     = topology.Torus3D
+	BCube       = topology.BCube
+	HyperBCube  = topology.HyperBCube
+	Line        = topology.Line
+	Ring        = topology.Ring
+	Star        = topology.Star
+	FullMesh    = topology.FullMesh
+	RandomWAN   = topology.RandomWAN
+	TopologyZoo = topology.Zoo
+	LoadConfig  = topology.LoadConfig
+)
+
+// PhysicalSwitch describes one commodity OpenFlow switch.
+type PhysicalSwitch = projection.PhysicalSwitch
+
+// Cabling is the fixed physical wiring of an SDT deployment.
+type Cabling = projection.Cabling
+
+// Plan is a Link Projection result: the logical→physical port mapping.
+type Plan = projection.Plan
+
+// Projection entry points.
+var (
+	H3CS6861    = projection.H3CS6861
+	Commodity64 = projection.Commodity64
+	PlanCabling = projection.PlanCabling
+	Project     = projection.Project
+)
+
+// PartitionOptions tunes the multilevel topology partitioner (§IV-C).
+type PartitionOptions = partition.Options
+
+// Routing strategies (Table III) and deadlock verification.
+type (
+	// Routes is a computed forwarding rule set.
+	Routes = routing.Routes
+	// Strategy computes Routes for a topology.
+	Strategy = routing.Strategy
+)
+
+// Routing constructors and helpers.
+var (
+	StrategyFor        = routing.ForTopology
+	VerifyDeadlockFree = routing.VerifyDeadlockFree
+)
+
+// Controller is the SDT controller (§V): check, deploy, reconfigure.
+type Controller = controller.Controller
+
+// ControllerOptions tunes one deployment.
+type ControllerOptions = controller.Options
+
+// NewController builds a controller over switches able to host topos.
+var NewController = controller.NewFromTopologies
+
+// Testbed couples the controller with the packet-level engine.
+type Testbed = core.Testbed
+
+// RunResult reports one workload execution.
+type RunResult = core.RunResult
+
+// Mode selects the evaluation platform.
+type Mode = core.Mode
+
+// Evaluation platforms.
+const (
+	ModeFullTestbed = core.FullTestbed
+	ModeSDT         = core.SDT
+	ModeSimulator   = core.Simulator
+)
+
+// Testbed constructors.
+var (
+	NewTestbed   = core.NewTestbed
+	PaperTestbed = core.PaperTestbed
+)
+
+// SimConfig sets fabric and protocol parameters for the engine.
+type SimConfig = netsim.Config
+
+// SimTime is simulated (physical) time in picoseconds.
+type SimTime = netsim.Time
+
+// Simulated-time units.
+const (
+	Nanosecond  = netsim.Nanosecond
+	Microsecond = netsim.Microsecond
+	Millisecond = netsim.Millisecond
+	Second      = netsim.Second
+)
+
+// DefaultSimConfig is the paper-calibrated configuration.
+var DefaultSimConfig = netsim.DefaultConfig
+
+// Trace is a replayable MPI-style application.
+type Trace = workload.Trace
+
+// Workload generators (§VI-D applications).
+var (
+	PingpongTrace  = workload.Pingpong
+	AlltoallTrace  = workload.Alltoall
+	AllreduceTrace = workload.AllreduceRing
+	HPCGTrace      = workload.HPCG
+	HPLTrace       = workload.HPL
+	MiniGhostTrace = workload.MiniGhost
+	MiniFETrace    = workload.MiniFE
+	WorkloadByName = workload.ByName
+)
