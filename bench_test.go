@@ -39,8 +39,11 @@ func BenchmarkFig11(b *testing.B) {
 }
 
 // BenchmarkFig12 regenerates the incast bandwidth test (Fig. 12),
-// PFC-on panel on SDT.
+// PFC-on panel on SDT. Allocation reporting feeds the BENCH_*.json
+// perf trajectory: the typed-event engine + packet pool cut this from
+// ~4.85M allocs/op (seed) to a few thousand.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	var agg float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig12(core.SDT, true, 200*netsim.Millisecond)
@@ -96,8 +99,10 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 // BenchmarkFig13 regenerates the evaluation-time scaling study
-// (Fig. 13) at reduced message volume.
+// (Fig. 13) at reduced message volume, with allocation reporting for
+// the perf trajectory.
 func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
 	var simFactor float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig13([]int{2, 8, 16}, 64*1024, 4)

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	sdtbench -exp all
-//	sdtbench -exp fig11
+//	sdtbench -exp fig11 -parallel 0
 //	sdtbench -exp table4 -ranks 16
 //	sdtbench -exp fig13 -bytes 524288 -reps 8
+//
+// -parallel N runs sweep experiments one independent simulation per
+// worker (0 = all cores). Simulated results are identical at any
+// worker count; only the wall-clock columns of fig13/table4 (the
+// simulator's own evaluation time) should be read from serial runs.
 package main
 
 import (
@@ -14,7 +19,6 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 )
@@ -26,6 +30,7 @@ func main() {
 	bytes := flag.Int("bytes", 256*1024, "message bytes for fig13 / active routing")
 	zoo := flag.Int("zoo", 0, "zoo subset size for table2 (0 = all 261)")
 	durMs := flag.Int("dur", 1000, "fig12 window in simulated ms")
+	parallel := flag.Int("parallel", 1, "workers for sweep experiments (0 = all cores, 1 = serial)")
 	flag.Parse()
 	w := os.Stdout
 
@@ -35,7 +40,7 @@ func main() {
 			return nil
 		},
 		"fig11": func() error {
-			r, err := experiments.Fig11(*reps * 5)
+			r, err := experiments.Fig11Par(*reps*5, *parallel)
 			if err != nil {
 				return err
 			}
@@ -44,19 +49,17 @@ func main() {
 		},
 		"fig12": func() error {
 			dur := netsim.Time(*durMs) * netsim.Millisecond
-			for _, pfc := range []bool{true, false} {
-				for _, mode := range []core.Mode{core.SDT, core.FullTestbed} {
-					r, err := experiments.Fig12(mode, pfc, dur)
-					if err != nil {
-						return err
-					}
-					r.Format(w)
-				}
+			rs, err := experiments.Fig12Panels(dur, *parallel)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
+				r.Format(w)
 			}
 			return nil
 		},
 		"table2": func() error {
-			r, err := experiments.Table2(*zoo)
+			r, err := experiments.Table2Par(*zoo, *parallel)
 			if err != nil {
 				return err
 			}
@@ -72,7 +75,7 @@ func main() {
 			return nil
 		},
 		"table4": func() error {
-			r, err := experiments.Table4(*ranks, nil)
+			r, err := experiments.Table4Par(*ranks, nil, *parallel)
 			if err != nil {
 				return err
 			}
@@ -80,7 +83,7 @@ func main() {
 			return nil
 		},
 		"fig13": func() error {
-			r, err := experiments.Fig13(nil, *bytes, *reps)
+			r, err := experiments.Fig13Par(nil, *bytes, *reps, *parallel)
 			if err != nil {
 				return err
 			}

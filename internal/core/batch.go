@@ -1,0 +1,130 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ParallelFor runs jobs 0..n-1 across `workers` goroutines, preserving
+// nothing about order except that all started jobs complete before it
+// returns. workers <= 0 means GOMAXPROCS; workers == 1 (or n < 2) runs
+// serially on the calling goroutine. After a job fails, no further
+// jobs are claimed; the lowest-index error observed is returned.
+//
+// Jobs must be independent: the experiment sweeps satisfy this by
+// giving every simulation its own Network/engine and priming shared
+// read-only structures (topologies, route sets, SDT deployments)
+// before the fan-out.
+func ParallelFor(workers, n int, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   int64 = -1
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		// firstErr keeps the error of the lowest job index so parallel
+		// runs fail with the same error a serial run would hit first.
+		firstErr    error
+		firstErrIdx int
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := job(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil || i < firstErrIdx {
+						firstErr, firstErrIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// TraceJob is one independent workload execution for RunBatch.
+type TraceJob struct {
+	Topo  *topology.Graph
+	Trace *workload.Trace
+	// Hosts places the trace's ranks (nil = deterministic spread).
+	Hosts []int
+	Mode  Mode
+}
+
+// EnsureDeployed primes the SDT deployment for g, deploying with the
+// topology's default routing strategy if absent — the one serial step
+// SDT-mode runs need before they can execute concurrently (deploying
+// mutates the controller; a live deployment is read-only).
+func (tb *Testbed) EnsureDeployed(g *topology.Graph) error {
+	_, err := tb.ensureDeployment(g, nil)
+	return err
+}
+
+// RunBatch executes independent trace jobs one simulation per worker —
+// the batch runner exported through the sdt facade for custom sweeps
+// (the built-in figure/table sweeps use ParallelFor directly, with
+// experiment-specific result shaping). Results are returned in job
+// order.
+//
+// The controller is not concurrency-safe, so SDT deployments (and the
+// lazy topology adjacency caches) are primed serially up front; the
+// simulations themselves share only read-only state. Note that under
+// workers > 1 the Wall/Eval fields of Simulator-mode results measure
+// contended wall clock — use workers == 1 when reproducing Fig. 13's
+// absolute evaluation times.
+func (tb *Testbed) RunBatch(jobs []TraceJob, workers int) ([]*RunResult, error) {
+	seen := map[*topology.Graph]bool{}
+	for _, j := range jobs {
+		if !seen[j.Topo] {
+			seen[j.Topo] = true
+			if err := j.Topo.Validate(); err != nil {
+				return nil, err
+			}
+			j.Topo.Hosts() // build the lazy adjacency/kind caches
+		}
+		if j.Mode == SDT {
+			if err := tb.EnsureDeployed(j.Topo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]*RunResult, len(jobs))
+	err := ParallelFor(workers, len(jobs), func(i int) error {
+		res, err := tb.RunTrace(jobs[i].Topo, jobs[i].Trace, jobs[i].Hosts, jobs[i].Mode)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

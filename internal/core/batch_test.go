@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestParallelForRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var hits [40]int32
+		err := ParallelFor(workers, len(hits), func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ParallelFor(4, 20, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 17:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+// TestRunBatchMatchesSerialRuns checks that the batch runner produces
+// the same deterministic results as direct serial RunTrace calls, at
+// several worker counts and across all three modes.
+func TestRunBatchMatchesSerialRuns(t *testing.T) {
+	g := topology.FatTree(4)
+	tr := workload.Alltoall(6, 32*1024, 2)
+	jobs := []TraceJob{
+		{Topo: g, Trace: tr, Mode: FullTestbed},
+		{Topo: g, Trace: tr, Mode: SDT},
+		{Topo: g, Trace: tr, Mode: Simulator},
+		{Topo: g, Trace: tr, Mode: SDT},
+	}
+	mk := func() *Testbed {
+		tb, err := PaperTestbed([]*topology.Graph{g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	var want []*RunResult
+	tbRef := mk()
+	for _, j := range jobs {
+		r, err := tbRef.RunTrace(j.Topo, j.Trace, j.Hosts, j.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := mk().RunBatch(jobs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range got {
+			if got[i].ACT != want[i].ACT || got[i].Mode != want[i].Mode ||
+				got[i].Drops != want[i].Drops || got[i].Deploy != want[i].Deploy ||
+				got[i].Events != want[i].Events {
+				t.Errorf("workers=%d job %d: got %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

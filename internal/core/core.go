@@ -102,30 +102,46 @@ func (tb *Testbed) Network(g *topology.Graph, strat routing.Strategy, mode Mode)
 	if strat == nil {
 		strat = routing.ForTopology(g)
 	}
-	routes, err := strat.Compute(g)
-	if err != nil {
-		return nil, nil, err
-	}
+	var routes *routing.Routes
 	var crossbarOf func(int) int
 	var dep *controller.Deployment
 	sdtExtra := false
 	if mode == SDT {
-		if dep = tb.Ctl.Deployment(g.Name); dep == nil {
-			dep, err = tb.Ctl.Deploy(g, controller.Options{Strategy: strat})
-			if err != nil {
-				return nil, nil, err
-			}
+		// The deployment carries the compiled routes; computing them
+		// from strat here would be discarded work on the sweep hot path.
+		var err error
+		if dep, err = tb.ensureDeployment(g, strat); err != nil {
+			return nil, nil, err
 		}
-		plan := dep.Plan
-		crossbarOf = plan.CrossbarOf
+		crossbarOf = dep.Plan.CrossbarOf
 		sdtExtra = true
 		routes = dep.Routes
+	} else {
+		var err error
+		if routes, err = strat.Compute(g); err != nil {
+			return nil, nil, err
+		}
 	}
+	// The network's route set may be shared across concurrent
+	// simulations; make sure its lazy lookup index exists before the
+	// fabric starts forwarding. (No-op for SDT: Deploy already primed.)
+	routes.Prime()
 	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, tb.Cfg, crossbarOf, sdtExtra)
 	if err != nil {
 		return nil, nil, err
 	}
 	return net, dep, nil
+}
+
+// ensureDeployment returns the live SDT deployment for g, deploying it
+// first if needed. Deploying mutates the controller, so this must not
+// run concurrently — RunBatch primes deployments serially before its
+// fan-out.
+func (tb *Testbed) ensureDeployment(g *topology.Graph, strat routing.Strategy) (*controller.Deployment, error) {
+	if dep := tb.Ctl.Deployment(g.Name); dep != nil {
+		return dep, nil
+	}
+	return tb.Ctl.Deploy(g, controller.Options{Strategy: strat})
 }
 
 // RunTrace executes a workload trace on topology g in the given mode.

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// recorder collects fired event identifiers.
+type recorder struct{ got []int64 }
+
+func (r *recorder) OnEvent(_ Time, ev Event) { r.got = append(r.got, ev.A) }
+
+func TestEqualTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	e.Schedule(30, r, Event{A: 3})
+	e.Schedule(10, r, Event{A: 1})
+	e.Schedule(20, r, Event{A: 2})
+	e.Schedule(10, r, Event{A: 11}) // same time: scheduling order
+	e.Schedule(10, r, Event{A: 12})
+	e.Run(0)
+	want := []int64{1, 11, 12, 2, 3}
+	if len(r.got) != len(want) {
+		t.Fatalf("fired %v, want %v", r.got, want)
+	}
+	for i := range want {
+		if r.got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", r.got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time = %d, want 30", e.Now())
+	}
+	if e.Events() != 5 {
+		t.Errorf("events = %d, want 5", e.Events())
+	}
+}
+
+func TestCancelledEventsNeverFire(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	h1 := e.Schedule(10, r, Event{A: 1})
+	e.Schedule(20, r, Event{A: 2})
+	h3 := e.Schedule(30, r, Event{A: 3})
+	if !e.Cancel(h1) {
+		t.Fatal("cancel of pending event returned false")
+	}
+	if e.Cancel(h1) {
+		t.Error("double cancel returned true")
+	}
+	e.Run(0)
+	if len(r.got) != 2 || r.got[0] != 2 || r.got[1] != 3 {
+		t.Fatalf("fired %v, want [2 3]", r.got)
+	}
+	// Cancelling after firing is a safe no-op.
+	if e.Cancel(h3) {
+		t.Error("cancel of fired event returned true")
+	}
+	// The zero Handle is never live.
+	if e.Cancel(Handle{}) {
+		t.Error("cancel of zero Handle returned true")
+	}
+}
+
+func TestCancelHandleInvalidatedBySlotReuse(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	h1 := e.Schedule(10, r, Event{A: 1})
+	e.Cancel(h1)
+	// The slot is recycled for a new event; the old handle must not be
+	// able to cancel it.
+	e.Schedule(20, r, Event{A: 2})
+	if e.Cancel(h1) {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	e.Run(0)
+	if len(r.got) != 1 || r.got[0] != 2 {
+		t.Fatalf("fired %v, want [2]", r.got)
+	}
+}
+
+func TestRescheduleMovesAndReorders(t *testing.T) {
+	e := New()
+	r := &recorder{}
+	h1 := e.Schedule(10, r, Event{A: 1})
+	e.Schedule(20, r, Event{A: 2})
+	if !e.Reschedule(h1, 20) {
+		t.Fatal("reschedule of pending event failed")
+	}
+	// Rescheduling consumes a fresh sequence number: the moved event
+	// now fires AFTER the one already at t=20.
+	e.Run(0)
+	if len(r.got) != 2 || r.got[0] != 2 || r.got[1] != 1 {
+		t.Fatalf("fired %v, want [2 1]", r.got)
+	}
+	if e.Reschedule(h1, 30) {
+		t.Error("reschedule of fired event returned true")
+	}
+}
+
+func TestRunLimitStopsBeforeFutureEvents(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.Run(50)
+	if fired {
+		t.Error("event beyond limit fired")
+	}
+	if e.Now() != 50 {
+		t.Errorf("now = %d, want 50", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestCallbacksAndClosures(t *testing.T) {
+	e := New()
+	var order []string
+	cb := FuncCB(func() { order = append(order, "cb") })
+	e.Post(5, cb)
+	e.After(10, func() { order = append(order, "after") })
+	e.Run(0)
+	if len(order) != 2 || order[0] != "cb" || order[1] != "after" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestHeapAgainstReference drives the indexed heap with random
+// schedules and cancellations, checking the fired sequence against a
+// sorted reference.
+func TestHeapAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := New()
+	r := &recorder{}
+	type ref struct {
+		at  Time
+		seq int64
+		id  int64
+	}
+	var want []ref
+	handles := map[int64]Handle{}
+	var id int64
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(4) == 0 && len(want) > 0 {
+			k := rng.Intn(len(want))
+			victim := want[k]
+			if e.Cancel(handles[victim.id]) {
+				want = append(want[:k], want[k+1:]...)
+			}
+			continue
+		}
+		id++
+		at := Time(rng.Intn(500))
+		hd := e.Schedule(at, r, Event{A: id})
+		handles[id] = hd
+		want = append(want, ref{at: at, seq: int64(i), id: id})
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+	e.Run(0)
+	if len(r.got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(r.got), len(want))
+	}
+	for i := range want {
+		if r.got[i] != want[i].id {
+			t.Fatalf("position %d: fired %d, want %d", i, r.got[i], want[i].id)
+		}
+	}
+}
+
+// nopHandler reschedules itself n times — the steady-state loop shape.
+type nopHandler struct{ e *Engine }
+
+func (h *nopHandler) OnEvent(now Time, ev Event) {
+	if ev.A > 0 {
+		h.e.ScheduleAfter(10, h, Event{A: ev.A - 1})
+	}
+}
+
+// TestSteadyStateLoopAllocatesNothing is the zero-allocation guard:
+// once the slab and heap have grown to the working set, scheduling,
+// firing, cancelling, and rescheduling allocate nothing.
+func TestSteadyStateLoopAllocatesNothing(t *testing.T) {
+	e := New()
+	h := &nopHandler{e: e}
+	// Warm the slab/heap/free list.
+	e.Schedule(0, h, Event{A: 64})
+	e.Run(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(e.Now(), h, Event{A: 256})
+		e.Run(0)
+		hd := e.ScheduleAfter(5, h, Event{})
+		e.Reschedule(hd, e.Now()+9)
+		e.Cancel(hd)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state loop allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	h := &nopHandler{e: e}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now(), h, Event{A: 32})
+		e.Run(0)
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	e := New()
+	h := &nopHandler{e: e}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hd := e.ScheduleAfter(1000, h, Event{})
+		e.Cancel(hd)
+	}
+}

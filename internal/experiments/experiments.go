@@ -79,17 +79,18 @@ func buildModeNet(g *topology.Graph, strat routing.Strategy) (full, sdt func() (
 		n, _, e := tb.Network(g, strat, core.FullTestbed)
 		return n, e
 	}
-	var dep time.Duration
 	sdt = func() (*netsim.Network, error) {
-		n, d, e := tb.Network(g, strat, core.SDT)
-		if d != nil {
-			dep = d.DeployTime
-		}
+		n, _, e := tb.Network(g, strat, core.SDT)
 		return n, e
 	}
-	// Prime the deployment so the deploy time is known up front.
-	if _, err := sdt(); err != nil {
+	// Prime the deployment up front: the deploy time is then known, and
+	// later full()/sdt() calls — possibly concurrent under a parallel
+	// sweep — only read the controller and topology caches.
+	var dep time.Duration
+	if _, d, err := tb.Network(g, strat, core.SDT); err != nil {
 		return nil, nil, 0, err
+	} else if d != nil {
+		dep = d.DeployTime
 	}
 	return full, sdt, dep, nil
 }

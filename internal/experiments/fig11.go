@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/routing"
 )
@@ -36,7 +37,11 @@ func Fig11MsgLens() []int {
 // Fig11 runs the latency comparison with `reps` round trips per
 // message length (the paper uses 10k; 50 is enough for a deterministic
 // simulator).
-func Fig11(reps int) (*Fig11Result, error) {
+func Fig11(reps int) (*Fig11Result, error) { return Fig11Par(reps, 1) }
+
+// Fig11Par is Fig11 with the message-length sweep fanned out one
+// simulation per worker (results are identical at any worker count).
+func Fig11Par(reps, workers int) (*Fig11Result, error) {
 	if reps <= 0 {
 		reps = 50
 	}
@@ -47,22 +52,33 @@ func Fig11(reps int) (*Fig11Result, error) {
 	}
 	hosts := g.Hosts()
 	a, b := hosts[0], hosts[7]
-	res := &Fig11Result{}
-	for _, bytes := range Fig11MsgLens() {
+	lens := Fig11MsgLens()
+	points := make([]Fig11Point, len(lens))
+	err = core.ParallelFor(workers, len(lens), func(i int) error {
+		bytes := lens[i]
 		fn, err := full()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fullRTT := netsim.MeanRTT(netsim.MeasurePingpong(fn, a, b, bytes, reps))
 		sn, err := sdt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sdtRTT := netsim.MeanRTT(netsim.MeasurePingpong(sn, a, b, bytes, reps))
-		over := float64(sdtRTT-fullRTT) / float64(fullRTT)
-		res.Points = append(res.Points, Fig11Point{Bytes: bytes, FullRTT: fullRTT, SDTRTT: sdtRTT, Overhead: over})
-		if over > res.MaxOverhead {
-			res.MaxOverhead = over
+		points[i] = Fig11Point{
+			Bytes: bytes, FullRTT: fullRTT, SDTRTT: sdtRTT,
+			Overhead: float64(sdtRTT-fullRTT) / float64(fullRTT),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Points: points}
+	for _, p := range points {
+		if p.Overhead > res.MaxOverhead {
+			res.MaxOverhead = p.Overhead
 		}
 	}
 	return res, nil

@@ -37,6 +37,14 @@ type Fig13Result struct {
 // no traffic, so the sweep starts at 2). bytes/reps scale the alltoall;
 // zero means Table IV scale.
 func Fig13(nodeCounts []int, bytes, reps int) (*Fig13Result, error) {
+	return Fig13Par(nodeCounts, bytes, reps, 1)
+}
+
+// Fig13Par is Fig13 with one node count per worker. Simulated results
+// (ACTs, deploy-derived evaluation times) are identical at any worker
+// count; the simulator's wall-clock column measures contended time
+// when workers > 1, so use workers == 1 for absolute Fig. 13 numbers.
+func Fig13Par(nodeCounts []int, bytes, reps, workers int) (*Fig13Result, error) {
 	if nodeCounts == nil {
 		nodeCounts = []int{2, 4, 8, 16, 32}
 	}
@@ -47,35 +55,40 @@ func Fig13(nodeCounts []int, bytes, reps int) (*Fig13Result, error) {
 		reps = 8
 	}
 	g := topology.Dragonfly(4, 9, 2, 1)
-	res := &Fig13Result{}
-	for _, n := range nodeCounts {
+	g.Hosts() // prime the lazy adjacency caches before the fan-out
+	points := make([]Fig13Point, len(nodeCounts))
+	err := core.ParallelFor(workers, len(nodeCounts), func(i int) error {
+		n := nodeCounts[i]
 		tr := workload.Alltoall(n, bytes, reps)
 		tb, err := core.PaperTestbed([]*topology.Graph{g})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hosts := g.Hosts()[:n]
 		full, err := tb.RunTrace(g, tr, hosts, core.FullTestbed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sdt, err := tb.RunTrace(g, tr, hosts, core.SDT)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim, err := tb.RunTrace(g, tr, hosts, core.Simulator)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p := Fig13Point{
+		points[i] = Fig13Point{
 			Nodes: n, RealACT: full.ACT,
 			FullEval: full.Eval, SDTEval: sdt.Eval, SimEval: sim.Eval,
 			SDTFactor: float64(sdt.Eval) / float64(full.Eval),
 			SimFactor: float64(sim.Eval) / float64(full.Eval),
 		}
-		res.Points = append(res.Points, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig13Result{Points: points}, nil
 }
 
 // Format prints the Fig. 13 series.

@@ -1,0 +1,56 @@
+package experiments
+
+// Parallel sweep support: every figure/table whose runs are independent
+// simulations fans out one simulation per worker through
+// core.ParallelFor (Testbed.RunBatch offers the same fan-out for
+// caller-defined job lists via the sdt facade). Each *Par function is
+// the real implementation; the original serial entry points delegate
+// with workers == 1, which preserves their outputs bit for bit.
+//
+// Two caveats, both documented in EXPERIMENTS.md:
+//
+//   - Simulated results are identical at any worker count (every
+//     simulation owns its engine and RNG; shared topologies, route
+//     sets, and SDT deployments are primed serially before the
+//     fan-out).
+//   - Wall-clock-derived columns (the simulator evaluation times of
+//     Fig. 13 / Table IV) measure contended wall clock when workers >
+//     1; reproduce those absolute numbers with workers == 1.
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// fig12Panels is the panel order of cmd/sdtbench's fig12 output.
+func fig12Panels() []struct {
+	Mode core.Mode
+	PFC  bool
+} {
+	return []struct {
+		Mode core.Mode
+		PFC  bool
+	}{
+		{core.SDT, true}, {core.FullTestbed, true},
+		{core.SDT, false}, {core.FullTestbed, false},
+	}
+}
+
+// Fig12Panels runs the four incast panels (PFC on/off x SDT/full
+// testbed), one per worker, in the order sdtbench prints them.
+func Fig12Panels(duration netsim.Time, workers int) ([]*Fig12Result, error) {
+	panels := fig12Panels()
+	out := make([]*Fig12Result, len(panels))
+	err := core.ParallelFor(workers, len(panels), func(i int) error {
+		r, err := Fig12(panels[i].Mode, panels[i].PFC, duration)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestFig11ParMatchesSerial is the load-bearing determinism check for
+// the sweep fan-out: simulated RTTs must not depend on worker count.
+func TestFig11ParMatchesSerial(t *testing.T) {
+	serial, err := Fig11Par(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig11Par(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Points) != len(serial.Points) {
+		t.Fatalf("points: %d vs %d", len(par.Points), len(serial.Points))
+	}
+	for i := range serial.Points {
+		s, p := serial.Points[i], par.Points[i]
+		if s != p {
+			t.Errorf("msglen %d: serial %+v != parallel %+v", s.Bytes, s, p)
+		}
+	}
+	if par.MaxOverhead != serial.MaxOverhead {
+		t.Errorf("max overhead: %v vs %v", par.MaxOverhead, serial.MaxOverhead)
+	}
+}
+
+func TestFig12PanelsParMatchesSerial(t *testing.T) {
+	dur := 50 * netsim.Millisecond
+	serial, err := Fig12Panels(dur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig12Panels(dur, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		s, p := serial[i], par[i]
+		if s.AggregateGbps != p.AggregateGbps || s.Drops != p.Drops || len(s.Flows) != len(p.Flows) {
+			t.Errorf("panel %d (%s pfc=%v): serial agg=%v drops=%d, parallel agg=%v drops=%d",
+				i, s.Mode, s.PFC, s.AggregateGbps, s.Drops, p.AggregateGbps, p.Drops)
+		}
+	}
+}
+
+func TestTable4ParMatchesSerial(t *testing.T) {
+	apps := []string{"IMB"}
+	serial, err := Table4Par(6, apps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table4Par(6, apps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Cells) != len(serial.Cells) {
+		t.Fatalf("cells: %d vs %d", len(par.Cells), len(serial.Cells))
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], par.Cells[i]
+		// Wall-clock fields (EvalSim, Speedup) legitimately differ.
+		if s.ACTSDT != p.ACTSDT || s.ACTSim != p.ACTSim ||
+			s.Deviation != p.Deviation || s.EvalSDT != p.EvalSDT {
+			t.Errorf("cell %s/%s: serial %+v != parallel %+v", s.App, s.Topology, s, p)
+		}
+	}
+}
+
+func TestFig13ParMatchesSerial(t *testing.T) {
+	counts := []int{2, 4}
+	serial, err := Fig13Par(counts, 32*1024, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig13Par(counts, 32*1024, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Points {
+		s, p := serial.Points[i], par.Points[i]
+		// SimEval/SimFactor are wall clock; the rest is deterministic.
+		if s.RealACT != p.RealACT || s.FullEval != p.FullEval ||
+			s.SDTEval != p.SDTEval || s.SDTFactor != p.SDTFactor {
+			t.Errorf("nodes=%d: serial %+v != parallel %+v", s.Nodes, s, p)
+		}
+	}
+}
+
+func TestTable2ParMatchesSerial(t *testing.T) {
+	serial, err := Table2Par(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table2Par(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Rows) != len(serial.Rows) {
+		t.Fatalf("rows: %d vs %d", len(par.Rows), len(serial.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != par.Rows[i] {
+			t.Errorf("row %d: serial %+v != parallel %+v", i, serial.Rows[i], par.Rows[i])
+		}
+	}
+}

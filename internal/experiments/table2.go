@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/projection"
 	"repro/internal/routing"
@@ -37,7 +38,19 @@ type Table2Result struct {
 
 // Table2 runs the scalability/cost/convenience comparison. zooSubset
 // limits the zoo sweep for quick runs (0 = all 261).
-func Table2(zooSubset int) (*Table2Result, error) {
+func Table2(zooSubset int) (*Table2Result, error) { return Table2Par(zooSubset, 1) }
+
+// table2Methods is the TP-method row order of Table II.
+func table2Methods() []projection.Method {
+	return []projection.Method{
+		projection.MethodSDT, projection.MethodSP, projection.MethodSPOS, projection.MethodTurboNet,
+	}
+}
+
+// Table2Par is Table2 with the Topology-Zoo projectability sweep (the
+// dominant cost: 261 WAN maps x 4 methods) fanned out one zoo graph
+// per worker. Coverage counts are identical at any worker count.
+func Table2Par(zooSubset, workers int) (*Table2Result, error) {
 	spec := projection.Commodity64("sw")
 	zoo := topology.Zoo(42)
 	if zooSubset > 0 && zooSubset < len(zoo) {
@@ -54,10 +67,32 @@ func Table2(zooSubset int) (*Table2Result, error) {
 		return nil, err
 	}
 
+	// Zoo coverage sweep: each job owns one zoo graph (no shared state
+	// between graphs) and checks it against every method.
+	methods := table2Methods()
+	coverage := make([]int, len(methods))
+	covered := make([][]bool, len(zoo))
+	err = core.ParallelFor(workers, len(zoo), func(i int) error {
+		row := make([]bool, len(methods))
+		for mi, m := range methods {
+			row[mi] = projection.Projectable(zoo[i], spec, m, 3)
+		}
+		covered[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range covered {
+		for mi, ok := range row {
+			if ok {
+				coverage[mi]++
+			}
+		}
+	}
+
 	res := &Table2Result{ZooSize: len(zoo)}
-	for _, m := range []projection.Method{
-		projection.MethodSDT, projection.MethodSP, projection.MethodSPOS, projection.MethodTurboNet,
-	} {
+	for mi, m := range methods {
 		row := Table2Row{Method: m, FatTree: -1, Dragonfly: -1, Torus: -1, BandwidthFactor: 1}
 		var worst projection.Requirement
 		for i, g := range []*topology.Graph{ft, df, torus} {
@@ -83,11 +118,7 @@ func Table2(zooSubset int) (*Table2Result, error) {
 		if err == nil {
 			row.Reconfig = costmodel.ReconfigTime(ftReq, entries)
 		}
-		for _, g := range zoo {
-			if projection.Projectable(g, spec, m, 3) {
-				row.ZooCoverage++
-			}
-		}
+		row.ZooCoverage = coverage[mi]
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -50,48 +50,76 @@ func table4Topologies() []*topology.Graph {
 // Table4 runs the application sweep with `ranks` MPI ranks per run
 // (the paper uses up to 32; smaller values preserve the comparison and
 // run much faster). apps of nil means all Table IV applications.
-func Table4(ranks int, apps []string) (*Table4Result, error) {
+func Table4(ranks int, apps []string) (*Table4Result, error) { return Table4Par(ranks, apps, 1) }
+
+// Table4Par is Table4 with one (application, topology) cell per
+// worker. Cells of one topology share a testbed whose SDT deployment
+// is primed serially up front (deploying mutates the controller;
+// afterwards it is read-only), so the deterministic columns (ACTs,
+// deviation, SDT evaluation time) are identical at any worker count.
+func Table4Par(ranks int, apps []string, workers int) (*Table4Result, error) {
 	if ranks <= 0 {
 		ranks = 16
 	}
 	if apps == nil {
 		apps = workload.TableIVApps()
 	}
-	res := &Table4Result{}
+	type cellJob struct {
+		g   *topology.Graph
+		tb  *core.Testbed
+		app string
+		n   int
+	}
+	var jobs []cellJob
 	for _, g := range table4Topologies() {
 		n := ranks
-		if h := g.NumHosts(); n > h {
+		if h := g.NumHosts(); n > h { // NumHosts also primes the lazy caches
 			n = h
 		}
 		tb, err := testbedSizedFor(g)
 		if err != nil {
 			return nil, err
 		}
+		if err := tb.EnsureDeployed(g); err != nil {
+			return nil, err
+		}
 		for _, app := range apps {
-			tr, err := workload.ByName(app, n)
-			if err != nil {
-				return nil, err
-			}
-			hosts := g.Hosts()[:n]
-			sdt, err := tb.RunTrace(g, tr, hosts, core.SDT)
-			if err != nil {
-				return nil, fmt.Errorf("table4: %s on %s (SDT): %w", app, g.Name, err)
-			}
-			sim, err := tb.RunTrace(g, tr, hosts, core.Simulator)
-			if err != nil {
-				return nil, fmt.Errorf("table4: %s on %s (sim): %w", app, g.Name, err)
-			}
-			dev := math.Abs(float64(sdt.ACT-sim.ACT)) / float64(sim.ACT)
-			cell := Table4Cell{
-				App: app, Topology: g.Name, Ranks: n,
-				ACTSDT: sdt.ACT, ACTSim: sim.ACT, Deviation: dev,
-				EvalSDT: sdt.Eval, EvalSim: sim.Eval,
-				Speedup: float64(sim.Eval) / float64(sdt.Eval),
-			}
-			res.Cells = append(res.Cells, cell)
-			if dev > res.MaxDeviation {
-				res.MaxDeviation = dev
-			}
+			jobs = append(jobs, cellJob{g: g, tb: tb, app: app, n: n})
+		}
+	}
+	cells := make([]Table4Cell, len(jobs))
+	err := core.ParallelFor(workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		tb := j.tb
+		tr, err := workload.ByName(j.app, j.n)
+		if err != nil {
+			return err
+		}
+		hosts := j.g.Hosts()[:j.n]
+		sdt, err := tb.RunTrace(j.g, tr, hosts, core.SDT)
+		if err != nil {
+			return fmt.Errorf("table4: %s on %s (SDT): %w", j.app, j.g.Name, err)
+		}
+		sim, err := tb.RunTrace(j.g, tr, hosts, core.Simulator)
+		if err != nil {
+			return fmt.Errorf("table4: %s on %s (sim): %w", j.app, j.g.Name, err)
+		}
+		dev := math.Abs(float64(sdt.ACT-sim.ACT)) / float64(sim.ACT)
+		cells[i] = Table4Cell{
+			App: j.app, Topology: j.g.Name, Ranks: j.n,
+			ACTSDT: sdt.ACT, ACTSim: sim.ACT, Deviation: dev,
+			EvalSDT: sdt.Eval, EvalSim: sim.Eval,
+			Speedup: float64(sim.Eval) / float64(sdt.Eval),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Cells: cells}
+	for _, c := range cells {
+		if c.Deviation > res.MaxDeviation {
+			res.MaxDeviation = c.Deviation
 		}
 	}
 	return res, nil

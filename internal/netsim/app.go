@@ -7,6 +7,8 @@ package netsim
 // traces collected from running an HPC application on real computing
 // nodes").
 
+import "repro/internal/engine"
+
 // OpKind enumerates trace operations.
 type OpKind int
 
@@ -69,8 +71,14 @@ func NewApp(n *Network, hosts []int, programs [][]Op, onDone func(act Time)) *Ap
 // Start launches all ranks at the current simulation time.
 func (a *App) Start() {
 	for _, r := range a.Ranks {
-		rank := r
-		a.net.Sim.After(0, func() { a.step(rank) })
+		a.net.Sim.ScheduleAfter(0, a, engine.Event{Kind: evAppStep, Ptr: r})
+	}
+}
+
+// OnEvent resumes a rank's program (trace replay is closure-free).
+func (a *App) OnEvent(now Time, ev engine.Event) {
+	if ev.Kind == evAppStep {
+		a.step(ev.Ptr.(*Rank))
 	}
 }
 
@@ -91,10 +99,11 @@ func (a *App) step(r *Rank) {
 			r.host.roce.Send(a.hostOf(op.Peer), op.MTag, op.Bytes)
 		case OpRecv:
 			src := a.hostOf(op.Peer)
-			r.host.mailbox.recv(n.Sim, src, op.MTag, func() { a.step(r) })
+			cont := engine.Callback{H: a, Ev: engine.Event{Kind: evAppStep, Ptr: r}}
+			r.host.mailbox.recv(n.Sim, src, op.MTag, cont)
 			return
 		case OpCompute:
-			n.Sim.After(op.Dur, func() { a.step(r) })
+			n.Sim.ScheduleAfter(op.Dur, a, engine.Event{Kind: evAppStep, Ptr: r})
 			return
 		}
 	}

@@ -1,10 +1,13 @@
 package netsim
 
+import "repro/internal/engine"
+
 // mailbox matches arrived messages with posted receives, MPI-style
-// (exact source + tag matching, FIFO per key).
+// (exact source + tag matching, FIFO per key). Continuations are stored
+// as typed engine callbacks, so the app layer stays closure-free.
 type mailbox struct {
 	arrived map[msgKey]int
-	waiting map[msgKey][]func()
+	waiting map[msgKey][]engine.Callback
 }
 
 type msgKey struct {
@@ -13,7 +16,7 @@ type msgKey struct {
 }
 
 func newMailbox() *mailbox {
-	return &mailbox{arrived: map[msgKey]int{}, waiting: map[msgKey][]func(){}}
+	return &mailbox{arrived: map[msgKey]int{}, waiting: map[msgKey][]engine.Callback{}}
 }
 
 func (m *mailbox) deliver(sim *Sim, src, tag int) {
@@ -21,17 +24,17 @@ func (m *mailbox) deliver(sim *Sim, src, tag int) {
 	if ws := m.waiting[k]; len(ws) > 0 {
 		cont := ws[0]
 		m.waiting[k] = ws[1:]
-		sim.After(0, cont)
+		sim.Post(sim.Now(), cont)
 		return
 	}
 	m.arrived[k]++
 }
 
-func (m *mailbox) recv(sim *Sim, src, tag int, cont func()) {
+func (m *mailbox) recv(sim *Sim, src, tag int, cont engine.Callback) {
 	k := msgKey{src, tag}
 	if m.arrived[k] > 0 {
 		m.arrived[k]--
-		sim.After(0, cont)
+		sim.Post(sim.Now(), cont)
 		return
 	}
 	m.waiting[k] = append(m.waiting[k], cont)
@@ -137,7 +140,8 @@ func (q *roceQP) pump() {
 	}
 	size := payload + n.Cfg.HeaderBytes
 	last := m.sent+payload >= m.bytes
-	pkt := &Packet{
+	pkt := allocPacket()
+	*pkt = Packet{
 		ID: n.pktID(), Kind: Data, Src: q.h.vertex, Dst: m.dst,
 		Size: size, Len: payload, Flow: m.id, Seq: int64(m.sent),
 		Tag: 0, Prio: 0, AppTag: m.tag, Last: last, MsgBytes: m.bytes,
@@ -147,25 +151,21 @@ func (q *roceQP) pump() {
 		q.msgs = q.msgs[1:]
 	}
 	gap := serTime(size, q.rate)
-	n.Sim.At(at, func() {
-		q.h.inject(pkt)
-		q.nextSendAt = n.Sim.Now() + gap
-		q.pumping = false
-		q.pump()
-	})
+	n.Sim.Schedule(at, q, engine.Event{Kind: evQPSend, Ptr: pkt, A: int64(gap)})
 	q.armTimer()
 }
 
-// armTimer starts the DCQCN rate-increase timer if congestion control
-// is enabled.
-func (q *roceQP) armTimer() {
+// OnEvent dispatches QP events: paced packet injection and the DCQCN
+// rate-increase timer.
+func (q *roceQP) OnEvent(now Time, ev engine.Event) {
 	n := q.h.net
-	if !n.Cfg.DCQCN || q.timerOn {
-		return
-	}
-	q.timerOn = true
-	var tick func()
-	tick = func() {
+	switch ev.Kind {
+	case evQPSend:
+		q.h.inject(ev.Ptr.(*Packet))
+		q.nextSendAt = now + Time(ev.A)
+		q.pumping = false
+		q.pump()
+	case evQPTick:
 		// Additive increase toward line rate, alpha decay.
 		line := n.Cfg.LinkBps
 		q.target += n.Cfg.DCQCNAIRate
@@ -178,9 +178,19 @@ func (q *roceQP) armTimer() {
 			q.timerOn = false
 			return
 		}
-		n.Sim.After(n.Cfg.DCQCNTimer, tick)
+		n.Sim.ScheduleAfter(n.Cfg.DCQCNTimer, q, engine.Event{Kind: evQPTick})
 	}
-	n.Sim.After(n.Cfg.DCQCNTimer, tick)
+}
+
+// armTimer starts the DCQCN rate-increase timer if congestion control
+// is enabled.
+func (q *roceQP) armTimer() {
+	n := q.h.net
+	if !n.Cfg.DCQCN || q.timerOn {
+		return
+	}
+	q.timerOn = true
+	n.Sim.ScheduleAfter(n.Cfg.DCQCNTimer, q, engine.Event{Kind: evQPTick})
 }
 
 // onCNP applies the DCQCN rate-decrease law.
@@ -202,7 +212,9 @@ func (h *Host) Send(dst, tag, bytes int) { h.roce.Send(dst, tag, bytes) }
 
 // Recv registers cont to run when a message with (src, tag) completes
 // delivery at this host (matching is MPI-style, counted per key).
-func (h *Host) Recv(src, tag int, cont func()) { h.mailbox.recv(h.net.Sim, src, tag, cont) }
+func (h *Host) Recv(src, tag int, cont func()) {
+	h.mailbox.recv(h.net.Sim, src, tag, engine.FuncCB(cont))
+}
 
 // Vertex returns the topology vertex ID of this host.
 func (h *Host) Vertex() int { return h.vertex }
@@ -223,7 +235,15 @@ func (h *Host) nicDrained() {
 	}
 }
 
-// receive handles a packet arriving at the host NIC.
+// OnEvent dispatches host events (delayed application delivery).
+func (h *Host) OnEvent(now Time, ev engine.Event) {
+	if ev.Kind == evDeliver {
+		h.mailbox.deliver(h.net.Sim, int(ev.A), int(ev.B))
+	}
+}
+
+// receive handles a packet arriving at the host NIC. The caller owns
+// the packet and releases it afterwards; nothing here may retain it.
 func (h *Host) receive(pkt *Packet) {
 	switch pkt.Kind {
 	case Data:
@@ -251,7 +271,8 @@ func (h *Host) roceData(pkt *Packet) {
 	if pkt.ECN && n.Cfg.DCQCN {
 		if last, ok := e.np[pkt.Src]; !ok || n.Sim.Now()-last >= n.Cfg.CNPInterval {
 			e.np[pkt.Src] = n.Sim.Now()
-			cnp := &Packet{
+			cnp := allocPacket()
+			*cnp = Packet{
 				ID: n.pktID(), Kind: Cnp, Src: h.vertex, Dst: pkt.Src,
 				Size: 64, Prio: 1,
 			}
@@ -271,10 +292,9 @@ func (h *Host) roceData(pkt *Packet) {
 	}
 	if st.total >= 0 && st.got >= st.total {
 		delete(e.rx, key)
-		src, tag := pkt.Src, st.tag
 		// NIC/driver delivery latency before the application sees it.
-		n.Sim.After(n.Cfg.HostLatency, func() {
-			h.mailbox.deliver(n.Sim, src, tag)
+		n.Sim.ScheduleAfter(n.Cfg.HostLatency, h, engine.Event{
+			Kind: evDeliver, A: int64(pkt.Src), B: int64(st.tag),
 		})
 	}
 }

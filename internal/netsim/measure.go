@@ -1,6 +1,9 @@
 package netsim
 
-import "repro/internal/topology"
+import (
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
 
 // MeasurePingpong runs an IMB-style Pingpong between hosts a and b:
 // reps round trips of a message of the given payload size, returning
@@ -10,13 +13,14 @@ func MeasurePingpong(n *Network, a, b int, bytes, reps int) []Time {
 	ha, hb := n.Host(a), n.Host(b)
 	const tag = 7001
 
-	// Responder: echo forever.
+	// Responder: echo forever. (Measurement harness, cold path: the
+	// closure convenience API is fine here.)
 	var echo func()
 	echo = func() {
-		hb.mailbox.recv(n.Sim, a, tag, func() {
+		hb.mailbox.recv(n.Sim, a, tag, engine.FuncCB(func() {
 			hb.roce.Send(a, tag, bytes)
 			echo()
-		})
+		}))
 	}
 	echo()
 
@@ -28,10 +32,10 @@ func MeasurePingpong(n *Network, a, b int, bytes, reps int) []Time {
 		}
 		start = n.Sim.Now()
 		ha.roce.Send(b, tag, bytes)
-		ha.mailbox.recv(n.Sim, b, tag, func() {
+		ha.mailbox.recv(n.Sim, b, tag, engine.FuncCB(func() {
 			rtts = append(rtts, n.Sim.Now()-start)
 			ping(i + 1)
-		})
+		}))
 	}
 	n.Sim.After(0, func() { ping(0) })
 	n.Sim.Run(0)

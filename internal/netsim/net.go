@@ -2,7 +2,9 @@ package netsim
 
 import (
 	"math/rand"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -31,7 +33,8 @@ type Packet struct {
 	ECN  bool
 	Flow int64 // flow / message identifier
 	Seq  int64 // byte offset within the flow
-	Len  int   // payload bytes
+
+	Len int // payload bytes
 
 	// AppTag is the application (MPI) tag for message matching; unlike
 	// Tag it is never rewritten in flight.
@@ -46,6 +49,18 @@ type Packet struct {
 	AckSeq   int64
 	AckECN   bool
 }
+
+// packetPool recycles Packet records across the whole process —
+// simulations running in parallel workers share it safely.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// allocPacket returns a pooled Packet. Every creation site fully
+// reassigns the struct (`*p = Packet{...}`), so no stale field leaks.
+func allocPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// release returns a packet to the pool. Only terminal owners call it:
+// the arrival handler after host delivery, and the two drop sites.
+func (p *Packet) release() { packetPool.Put(p) }
 
 // Crossbar models the internal switching fabric of one physical switch.
 // Under SDT several sub-switches share one crossbar, so its (slight)
@@ -91,20 +106,48 @@ type deviceRef struct {
 	inPort int // ingress port at the receiving device
 }
 
-// fifo is a byte-accounted packet queue.
+// fifo is a byte-accounted packet queue over a power-of-two ring
+// buffer: pops release the head slot immediately (no backing-array
+// retention) and steady-state push/pop allocates nothing.
 type fifo struct {
-	pkts  []*Packet
+	ring  []*Packet // power-of-two capacity
+	head  int
+	n     int
 	bytes int
 }
 
-func (q *fifo) push(p *Packet) { q.pkts = append(q.pkts, p); q.bytes += p.Size }
+func (q *fifo) push(p *Packet) {
+	if q.n == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.n)&(len(q.ring)-1)] = p
+	q.n++
+	q.bytes += p.Size
+}
+
+func (q *fifo) grow() {
+	ncap := len(q.ring) * 2
+	if ncap == 0 {
+		ncap = 8
+	}
+	next := make([]*Packet, ncap)
+	for i := 0; i < q.n; i++ {
+		next[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	}
+	q.ring = next
+	q.head = 0
+}
+
 func (q *fifo) pop() *Packet {
-	p := q.pkts[0]
-	q.pkts = q.pkts[1:]
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.n--
 	q.bytes -= p.Size
 	return p
 }
-func (q *fifo) empty() bool { return len(q.pkts) == 0 }
+
+func (q *fifo) empty() bool { return q.n == 0 }
 
 // nPrio is the number of PFC traffic classes. Data packets travel in
 // the class of their current VC tag (classes 0..nPrio-2) — on real
@@ -113,6 +156,11 @@ func (q *fifo) empty() bool { return len(q.pkts) == 0 }
 // its own lossless buffer. The top class carries control traffic
 // (ACK/CNP) and is never paused.
 const nPrio = 8
+
+// Event payloads pack the priority class into 4 bits (the `<<4 | cls`
+// encodings in tryTransmit and switch receive); this guard breaks the
+// build if nPrio ever outgrows that field.
+var _ [16 - nPrio]struct{}
 
 // ctrlClass is the unpaused control class.
 const ctrlClass = nPrio - 1
@@ -235,8 +283,10 @@ type Network struct {
 	rng    *rand.Rand
 	nextID int64
 
-	switches map[int]*SimSwitch
-	hosts    map[int]*Host
+	// switches and hosts are dense slices indexed by topology vertex ID
+	// (nil where the vertex is the other kind).
+	switches []*SimSwitch
+	hosts    []*Host
 	links    []*DirLink
 
 	// Stats
@@ -260,8 +310,8 @@ func NewNetwork(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v 
 		Cfg:      cfg,
 		Fwd:      fwd,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		switches: map[int]*SimSwitch{},
-		hosts:    map[int]*Host{},
+		switches: make([]*SimSwitch, len(g.Vertices)),
+		hosts:    make([]*Host, len(g.Vertices)),
 	}
 	// Crossbars per group.
 	xbars := map[int]*Crossbar{}
@@ -307,14 +357,14 @@ func NewNetwork(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v 
 	for _, e := range g.Edges {
 		mk := func(from, fromPort, to, toPort int) *DirLink {
 			l := &DirLink{id: len(n.links), bps: cfg.LinkBps, prop: cfg.PropDelay, EdgeID: e.ID}
-			if h, ok := n.hosts[to]; ok {
+			if h := n.hosts[to]; h != nil {
 				l.to = deviceRef{host: h, inPort: toPort}
 			} else {
 				l.to = deviceRef{sw: n.switches[to], inPort: toPort}
 			}
 			n.links = append(n.links, l)
 			op := &OutPort{link: l}
-			if h, ok := n.hosts[from]; ok {
+			if h := n.hosts[from]; h != nil {
 				op.hostOwner = h
 				h.out = op
 			} else {
@@ -330,12 +380,12 @@ func NewNetwork(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v 
 	for _, e := range g.Edges {
 		setUp := func(at, atPort, far, farPort int) {
 			var farOut *OutPort
-			if h, ok := n.hosts[far]; ok {
+			if h := n.hosts[far]; h != nil {
 				farOut = h.out
 			} else {
 				farOut = n.switches[far].outPorts[farPort]
 			}
-			if sw, ok := n.switches[at]; ok {
+			if sw := n.switches[at]; sw != nil {
 				sw.upstream[atPort] = farOut
 			} else {
 				n.hosts[at].upstream = farOut
@@ -345,18 +395,60 @@ func NewNetwork(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v 
 		setUp(e.B, e.BPort, e.A, e.APort)
 	}
 	for _, h := range n.hosts {
-		h.roce = newRoceEngine(h)
+		if h != nil {
+			h.roce = newRoceEngine(h)
+		}
 	}
 	return n, nil
 }
 
-// Host returns the host device for a topology host vertex.
-func (n *Network) Host(v int) *Host { return n.hosts[v] }
+// Host returns the host device for a topology host vertex (nil when v
+// is out of range or a switch).
+func (n *Network) Host(v int) *Host {
+	if v < 0 || v >= len(n.hosts) {
+		return nil
+	}
+	return n.hosts[v]
+}
 
-// Switch returns the switch device for a topology switch vertex.
-func (n *Network) Switch(v int) *SimSwitch { return n.switches[v] }
+// Switch returns the switch device for a topology switch vertex (nil
+// when v is out of range or a host).
+func (n *Network) Switch(v int) *SimSwitch {
+	if v < 0 || v >= len(n.switches) {
+		return nil
+	}
+	return n.switches[v]
+}
 
 func (n *Network) pktID() int64 { n.nextID++; return n.nextID }
+
+// OnEvent dispatches fabric-level events: transmit completions, wire
+// arrivals, and PFC pause/resume.
+func (n *Network) OnEvent(now Time, ev engine.Event) {
+	switch ev.Kind {
+	case evTxDone:
+		o := ev.Ptr.(*OutPort)
+		o.sending = false
+		n.onDequeued(o, int(ev.A>>4), int(ev.A&0xf), int(ev.B))
+		n.tryTransmit(o)
+	case evArrive:
+		pkt := ev.Ptr.(*Packet)
+		to := n.links[ev.A].to
+		pkt.inPort = to.inPort
+		if to.sw != nil {
+			to.sw.receive(pkt)
+		} else {
+			to.host.receive(pkt)
+			pkt.release() // terminal: host consumed it synchronously
+		}
+	case evPfcPause:
+		ev.Ptr.(*OutPort).paused[ev.A] = true
+	case evPfcResume:
+		o := ev.Ptr.(*OutPort)
+		o.paused[ev.A] = false
+		n.tryTransmit(o)
+	}
+}
 
 // tryTransmit starts transmission on an output port if idle, honouring
 // PFC pause state per priority (highest priority first).
@@ -390,12 +482,10 @@ func (n *Network) tryTransmit(o *OutPort) {
 	// ARRIVED with (the wire class its upstream transmits on) — pausing
 	// the post-rewrite class would backpressure the wrong queue and can
 	// wedge VC-based deadlock avoidance.
-	accPort, accPrio, accSize := pkt.inPort, pkt.arrClass, pkt.Size
 	// Sender frees after serialisation.
-	n.Sim.At(start+ser, func() {
-		o.sending = false
-		n.onDequeued(o, accPort, accPrio, accSize)
-		n.tryTransmit(o)
+	n.Sim.Schedule(start+ser, n, engine.Event{
+		Kind: evTxDone, Ptr: o,
+		A: int64(pkt.inPort)<<4 | int64(pkt.arrClass), B: int64(pkt.Size),
 	})
 	// Receiver processing starts at header (cut-through) or tail.
 	arr := start + l.prop + ser
@@ -403,15 +493,7 @@ func (n *Network) tryTransmit(o *OutPort) {
 		hdr := serTime(minInt(pkt.Size, n.Cfg.HeaderBytes+64), l.bps)
 		arr = start + l.prop + hdr
 	}
-	to := l.to
-	n.Sim.At(arr, func() {
-		pkt.inPort = to.inPort
-		if to.sw != nil {
-			to.sw.receive(pkt)
-		} else {
-			to.host.receive(pkt)
-		}
-	})
+	n.Sim.Schedule(arr, n, engine.Event{Kind: evArrive, Ptr: pkt, A: int64(l.id)})
 }
 
 // onDequeued updates PFC ingress accounting at the switch that owned
@@ -435,9 +517,8 @@ func (n *Network) onDequeued(o *OutPort, inPort, prio, size int) {
 		up := sw.upstream[inPort]
 		if up != nil {
 			// Resume after control-frame propagation.
-			n.Sim.After(n.Cfg.PropDelay+500*Nanosecond, func() {
-				up.paused[prio] = false
-				n.tryTransmit(up)
+			n.Sim.ScheduleAfter(n.Cfg.PropDelay+500*Nanosecond, n, engine.Event{
+				Kind: evPfcResume, Ptr: up, A: int64(prio),
 			})
 		}
 	}

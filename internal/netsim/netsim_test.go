@@ -105,7 +105,7 @@ func TestSingleFlowSaturatesLink(t *testing.T) {
 	start := net.Sim.Now()
 	net.Host(hosts[0]).roce.Send(hosts[1], 1, bytes)
 	var done Time
-	net.Host(hosts[1]).mailbox.recv(net.Sim, hosts[0], 1, func() { done = net.Sim.Now() })
+	net.Host(hosts[1]).Recv(hosts[0], 1, func() { done = net.Sim.Now() })
 	net.Sim.Run(0)
 	if done == 0 {
 		t.Fatal("message never delivered")

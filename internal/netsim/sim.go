@@ -15,105 +15,53 @@
 //     (plus the flow-table pipeline overhead), so the *difference*
 //     between the two runs isolates exactly the projection overhead the
 //     paper measures in Figs. 11–12.
+//
+// Scheduling is delegated to internal/engine: a zero-allocation,
+// cancellable discrete-event core. Every hot-path event in this package
+// is a typed record dispatched through OnEvent handlers (see the ev*
+// kinds below); closures survive only on cold measurement paths.
 package netsim
 
 import (
-	"container/heap"
+	"repro/internal/engine"
 )
 
-// Time is simulation time in picoseconds. Integer picoseconds make
-// 10 Gbps arithmetic exact (0.8 ns/byte = 800 ps/byte) and cover ~106
-// days in an int64.
-type Time int64
+// Time is simulation time in picoseconds (see engine.Time).
+type Time = engine.Time
 
 // Common durations.
 const (
-	Picosecond  Time = 1
-	Nanosecond  Time = 1000
-	Microsecond Time = 1000 * Nanosecond
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Picosecond  = engine.Picosecond
+	Nanosecond  = engine.Nanosecond
+	Microsecond = engine.Microsecond
+	Millisecond = engine.Millisecond
+	Second      = engine.Second
 )
 
-// Seconds converts a Time to float64 seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
-
-type event struct {
-	at  Time
-	seq int64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// Sim is a discrete-event scheduler. Events at equal times run in
-// scheduling order (deterministic).
-type Sim struct {
-	now    Time
-	seq    int64
-	events eventHeap
-	count  int64
-}
+// Sim is the discrete-event scheduler driving one Network. Events at
+// equal times run in scheduling order (deterministic).
+type Sim = engine.Engine
 
 // NewSim returns a scheduler at time zero.
-func NewSim() *Sim { return &Sim{} }
+func NewSim() *Sim { return engine.New() }
 
-// Now returns the current simulation time.
-func (s *Sim) Now() Time { return s.now }
-
-// Events returns the number of events executed so far.
-func (s *Sim) Events() int64 { return s.count }
-
-// At schedules fn at absolute time t (clamped to now).
-func (s *Sim) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
-}
-
-// After schedules fn d after now.
-func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
-
-// Step runs the next event; it reports false when the queue is empty.
-func (s *Sim) Step() bool {
-	if len(s.events) == 0 {
-		return false
-	}
-	e := heap.Pop(&s.events).(event)
-	s.now = e.at
-	s.count++
-	e.fn()
-	return true
-}
-
-// Run executes events until the queue drains or the time limit passes
-// (limit 0 = no limit). It returns the final simulation time.
-func (s *Sim) Run(limit Time) Time {
-	for len(s.events) > 0 {
-		if limit > 0 && s.events[0].at > limit {
-			s.now = limit
-			break
-		}
-		s.Step()
-	}
-	return s.now
-}
+// Typed event kinds. Each handler type switches on its own subset; the
+// payload conventions are documented at the scheduling sites.
+const (
+	// Network events.
+	evTxDone    int32 = iota // Ptr=*OutPort, A=inPort<<4|prio, B=size
+	evArrive                 // Ptr=*Packet, A=link index
+	evPfcPause               // Ptr=*OutPort, A=priority class
+	evPfcResume              // Ptr=*OutPort, A=priority class
+	// SimSwitch events.
+	evSwEnqueue // Ptr=*Packet, A=out port, B=inPort<<4|arrival class
+	// roceQP events.
+	evQPSend // Ptr=*Packet, A=pacing gap (Time)
+	evQPTick // DCQCN rate-increase timer
+	// Host events.
+	evDeliver // A=src vertex, B=app tag
+	// TCPConn events.
+	evRTO // retransmission timeout (cancellable handle)
+	// App events.
+	evAppStep // Ptr=*Rank
+)

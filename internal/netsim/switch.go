@@ -1,5 +1,7 @@
 package netsim
 
+import "repro/internal/engine"
+
 // receive runs the switch pipeline on an arriving packet: forwarding
 // lookup, crossbar transfer, egress enqueue with ECN marking, and PFC
 // threshold checks.
@@ -9,6 +11,7 @@ func (s *SimSwitch) receive(pkt *Packet) {
 	if !ok || out <= 0 || out >= len(s.outPorts) || s.outPorts[out] == nil {
 		s.Drops++
 		n.TotalDrops++
+		pkt.release()
 		return
 	}
 	// The PFC class the packet arrived with (before any VC rewrite):
@@ -16,10 +19,18 @@ func (s *SimSwitch) receive(pkt *Packet) {
 	// name.
 	arrCls := pfcClass(pkt)
 	pkt.Tag = newTag
-	inPort := pkt.inPort
 	d := n.Cfg.SwitchLatency + fwdDelay + s.crossbar.delay(n.Sim.Now(), pkt.Size)
-	o := s.outPorts[out]
-	n.Sim.After(d, func() { s.enqueue(o, inPort, arrCls, pkt) })
+	n.Sim.ScheduleAfter(d, s, engine.Event{
+		Kind: evSwEnqueue, Ptr: pkt,
+		A: int64(out), B: int64(pkt.inPort)<<4 | int64(arrCls),
+	})
+}
+
+// OnEvent dispatches switch events (crossbar-traversal completions).
+func (s *SimSwitch) OnEvent(now Time, ev engine.Event) {
+	if ev.Kind == evSwEnqueue {
+		s.enqueue(s.outPorts[ev.A], int(ev.B>>4), int(ev.B&0xf), ev.Ptr.(*Packet))
+	}
 }
 
 // isData reports whether the class carries pausable data traffic.
@@ -36,6 +47,7 @@ func (s *SimSwitch) enqueue(o *OutPort, inPort, arrCls int, pkt *Packet) {
 	if !n.Cfg.PFC && isData(pkt.Prio) && o.queuedBytes()+pkt.Size > n.Cfg.QueueCap {
 		o.Drops++
 		n.TotalDrops++
+		pkt.release()
 		return
 	}
 	// ECN marking (RED-style ramp on egress occupancy), data class only.
@@ -64,8 +76,8 @@ func (s *SimSwitch) enqueue(o *OutPort, inPort, arrCls int, pkt *Packet) {
 			up := s.upstream[inPort]
 			if up != nil {
 				n.PausesSent++
-				n.Sim.After(n.Cfg.PropDelay+500*Nanosecond, func() {
-					up.paused[arrCls] = true
+				n.Sim.ScheduleAfter(n.Cfg.PropDelay+500*Nanosecond, n, engine.Event{
+					Kind: evPfcPause, Ptr: up, A: int64(arrCls),
 				})
 			}
 		}

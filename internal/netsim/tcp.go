@@ -1,5 +1,7 @@
 package netsim
 
+import "repro/internal/engine"
+
 // TCPConn is a Reno-style TCP connection used for the iperf incast
 // experiment (Fig. 12): slow start, congestion avoidance, fast
 // retransmit on three duplicate ACKs, a coarse RTO, and ECN response.
@@ -21,7 +23,7 @@ type TCPConn struct {
 	inRecovery     bool
 	recoverSeq     int64
 	ecnGuard       int64 // no further ECN reaction until sndUna passes this
-	rtoSeq         int64 // epoch counter to cancel stale RTO timers
+	rto            engine.Handle // pending RTO event; cancelled on progress
 	done           func(fct Time)
 	startAt        Time
 	stopped        bool
@@ -81,7 +83,8 @@ func (c *TCPConn) trySend() {
 
 func (c *TCPConn) emit(seq int64, l int) {
 	n := c.net
-	pkt := &Packet{
+	pkt := allocPacket()
+	*pkt = Packet{
 		ID: n.pktID(), Kind: Data, Src: c.src, Dst: c.dst,
 		Size: l + n.Cfg.HeaderBytes, Len: l, Flow: c.flow, Seq: seq, Prio: 0,
 	}
@@ -107,7 +110,8 @@ func (c *TCPConn) onData(pkt *Packet) {
 	}
 	c.RcvBytes = c.rcvNxt
 	n.hosts[c.dst].DeliveredBytes += int64(pkt.Len)
-	ack := &Packet{
+	ack := allocPacket()
+	*ack = Packet{
 		ID: n.pktID(), Kind: Ack, Src: c.dst, Dst: c.src,
 		Size: 64, Flow: c.flow, Prio: 1,
 		AckSeq: c.rcvNxt, AckECN: pkt.ECN,
@@ -173,36 +177,49 @@ func (c *TCPConn) onAck(pkt *Packet) {
 		}
 	}
 	c.trySend()
+	// Everything acknowledged and no more data coming (finite flow done
+	// or stopped stream drained): retire the timer instead of letting
+	// it fire one last no-op.
+	if c.sndUna >= c.sndNxt && c.remaining() == 0 {
+		c.net.Sim.Cancel(c.rto)
+		c.rto = engine.Handle{}
+	}
 }
 
-// armRTO (re)arms the retransmission timer for the current sndUna.
+// armRTO (re)arms the retransmission timer: the pending timeout, if
+// any, is cancelled outright — no stale timers ever fire.
 func (c *TCPConn) armRTO() {
-	c.rtoSeq++
-	epoch := c.rtoSeq
-	una := c.sndUna
-	c.net.Sim.After(tcpRTO, func() {
-		if c.rtoSeq != epoch || c.sndUna != una {
-			return // progress was made or timer superseded
-		}
-		if c.sndUna >= c.sndNxt || (c.limit >= 0 && c.sndUna >= c.limit) {
-			return // nothing outstanding
-		}
-		// Timeout: collapse to slow start and retransmit.
-		mss := float64(c.mss)
-		c.ssthresh = c.cwnd / 2
-		if c.ssthresh < mss {
-			c.ssthresh = mss
-		}
-		c.cwnd = mss
-		c.inRecovery = false
-		c.dupacks = 0
-		l := int64(c.mss)
-		if c.limit >= 0 && c.limit-c.sndUna < l {
-			l = c.limit - c.sndUna
-		}
-		if l > 0 {
-			c.emit(c.sndUna, int(l))
-		}
-		c.armRTO()
-	})
+	sim := c.net.Sim
+	sim.Cancel(c.rto)
+	c.rto = sim.ScheduleAfter(tcpRTO, c, engine.Event{Kind: evRTO})
+}
+
+// OnEvent fires the retransmission timeout. Cancellation guarantees
+// the timer is current: no epoch counters or progress re-checks are
+// needed, only the is-anything-outstanding guard.
+func (c *TCPConn) OnEvent(now Time, ev engine.Event) {
+	if ev.Kind != evRTO {
+		return
+	}
+	c.rto = engine.Handle{}
+	if c.sndUna >= c.sndNxt || (c.limit >= 0 && c.sndUna >= c.limit) {
+		return // nothing outstanding
+	}
+	// Timeout: collapse to slow start and retransmit.
+	mss := float64(c.mss)
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < mss {
+		c.ssthresh = mss
+	}
+	c.cwnd = mss
+	c.inRecovery = false
+	c.dupacks = 0
+	l := int64(c.mss)
+	if c.limit >= 0 && c.limit-c.sndUna < l {
+		l = c.limit - c.sndUna
+	}
+	if l > 0 {
+		c.emit(c.sndUna, int(l))
+	}
+	c.armRTO()
 }

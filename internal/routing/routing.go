@@ -93,6 +93,11 @@ func (r *Routes) buildIndex() {
 	}
 }
 
+// Prime eagerly builds the lookup index so the route set can be shared
+// read-only across concurrent simulations (Lookup otherwise builds it
+// lazily on first use, which is a data race under parallel sweeps).
+func (r *Routes) Prime() { r.buildIndex() }
+
 // Lookup finds the most specific rule on switch sw for a packet
 // arriving on logical port inPort with the given destination and tag.
 // It returns nil when no rule applies.

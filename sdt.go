@@ -8,7 +8,8 @@
 // topologies onto commodity OpenFlow switches via Link Projection,
 // computing Table III routing strategies with verified deadlock
 // freedom, and running workloads on the packet-level engine in full-
-// testbed, SDT, or simulator mode.
+// testbed, SDT, or simulator mode — serially, or one simulation per
+// core through Testbed.RunBatch / ParallelFor.
 //
 // Quickstart:
 //
@@ -107,6 +108,17 @@ type Testbed = core.Testbed
 
 // RunResult reports one workload execution.
 type RunResult = core.RunResult
+
+// TraceJob is one independent workload execution for Testbed.RunBatch,
+// the worker-pool batch runner (one simulation per core).
+type TraceJob = core.TraceJob
+
+// ParallelFor is the worker-pool helper behind the parallel experiment
+// sweeps: it runs independent jobs 0..n-1 across workers (0 = all
+// cores, 1 = serial) and returns the lowest-index job error.
+func ParallelFor(workers, n int, job func(i int) error) error {
+	return core.ParallelFor(workers, n, job)
+}
 
 // Mode selects the evaluation platform.
 type Mode = core.Mode
