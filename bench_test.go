@@ -190,7 +190,7 @@ func BenchmarkAblationCutThrough(b *testing.B) {
 	rtt := func(ct bool) netsim.Time {
 		cfg := netsim.DefaultConfig()
 		cfg.CutThrough = ct
-		net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, cfg, nil, false)
+		net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), cfg, nil, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,7 +217,7 @@ func BenchmarkAblationDCQCN(b *testing.B) {
 		cfg := netsim.DefaultConfig()
 		cfg.ECN = true
 		cfg.DCQCN = dcqcn
-		net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, cfg, nil, false)
+		net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), cfg, nil, false)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,21 +7,48 @@
 //	sdtbench -exp fig11 -parallel 0
 //	sdtbench -exp table4 -ranks 16
 //	sdtbench -exp fig13 -bytes 524288 -reps 8
+//	sdtbench -exp all -json > bench.json
 //
 // -parallel N runs sweep experiments one independent simulation per
 // worker (0 = all cores). Simulated results are identical at any
 // worker count; only the wall-clock columns of fig13/table4 (the
 // simulator's own evaluation time) should be read from serial runs.
+//
+// -json suppresses the human-readable tables and instead emits one
+// machine-readable JSON document with per-experiment wall-clock and
+// allocation figures — the format the BENCH_*.json perf trajectory
+// tracks across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 )
+
+// expResult is one experiment's perf record in -json mode.
+type expResult struct {
+	Experiment string  `json:"experiment"`
+	WallMs     float64 `json:"wall_ms"`
+	Allocs     uint64  `json:"allocs"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+}
+
+// benchReport is the top-level -json document.
+type benchReport struct {
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Parallel   int         `json:"parallel"`
+	Results    []expResult `json:"results"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig11|fig12|table2|table3|table4|fig13|isolation|active|tables|all")
@@ -31,15 +58,15 @@ func main() {
 	zoo := flag.Int("zoo", 0, "zoo subset size for table2 (0 = all 261)")
 	durMs := flag.Int("dur", 1000, "fig12 window in simulated ms")
 	parallel := flag.Int("parallel", 1, "workers for sweep experiments (0 = all cores, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
 	flag.Parse()
-	w := os.Stdout
 
-	run := map[string]func() error{
-		"table1": func() error {
+	run := map[string]func(w io.Writer) error{
+		"table1": func(w io.Writer) error {
 			experiments.Table1().Format(w)
 			return nil
 		},
-		"fig11": func() error {
+		"fig11": func(w io.Writer) error {
 			r, err := experiments.Fig11Par(*reps*5, *parallel)
 			if err != nil {
 				return err
@@ -47,7 +74,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"fig12": func() error {
+		"fig12": func(w io.Writer) error {
 			dur := netsim.Time(*durMs) * netsim.Millisecond
 			rs, err := experiments.Fig12Panels(dur, *parallel)
 			if err != nil {
@@ -58,7 +85,7 @@ func main() {
 			}
 			return nil
 		},
-		"table2": func() error {
+		"table2": func(w io.Writer) error {
 			r, err := experiments.Table2Par(*zoo, *parallel)
 			if err != nil {
 				return err
@@ -66,7 +93,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"table3": func() error {
+		"table3": func(w io.Writer) error {
 			r, err := experiments.Table3()
 			if err != nil {
 				return err
@@ -74,7 +101,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"table4": func() error {
+		"table4": func(w io.Writer) error {
 			r, err := experiments.Table4Par(*ranks, nil, *parallel)
 			if err != nil {
 				return err
@@ -82,7 +109,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"fig13": func() error {
+		"fig13": func(w io.Writer) error {
 			r, err := experiments.Fig13Par(nil, *bytes, *reps, *parallel)
 			if err != nil {
 				return err
@@ -90,7 +117,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"isolation": func() error {
+		"isolation": func(w io.Writer) error {
 			r, err := experiments.Isolation()
 			if err != nil {
 				return err
@@ -98,7 +125,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"active": func() error {
+		"active": func(w io.Writer) error {
 			r, err := experiments.ActiveRouting(8, *bytes)
 			if err != nil {
 				return err
@@ -106,7 +133,7 @@ func main() {
 			r.Format(w)
 			return nil
 		},
-		"tables": func() error {
+		"tables": func(w io.Writer) error {
 			r, err := experiments.FlowTableUsage()
 			if err != nil {
 				return err
@@ -117,22 +144,65 @@ func main() {
 	}
 
 	order := []string{"table1", "fig11", "fig12", "table2", "table3", "table4", "fig13", "isolation", "active", "tables"}
+	var selected []string
 	if *exp == "all" {
-		for _, name := range order {
-			if err := run[name](); err != nil {
+		selected = order
+	} else {
+		if _, ok := run[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+
+	if *jsonOut {
+		report := benchReport{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Parallel:   *parallel,
+		}
+		for _, name := range selected {
+			res, err := measure(name, run[name])
+			if err != nil {
 				fatal(name, err)
 			}
+			report.Results = append(report.Results, res)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal("json", err)
 		}
 		return
 	}
-	fn, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+
+	for _, name := range selected {
+		if err := run[name](os.Stdout); err != nil {
+			fatal(name, err)
+		}
 	}
-	if err := fn(); err != nil {
-		fatal(*exp, err)
+}
+
+// measure runs one experiment with its table output discarded and
+// returns its wall-clock and allocation figures. Allocation counts are
+// process-wide deltas (runtime.MemStats), so run experiments serially
+// — as this loop does — for attributable numbers.
+func measure(name string, fn func(w io.Writer) error) (expResult, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := fn(io.Discard); err != nil {
+		return expResult{}, err
 	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return expResult{
+		Experiment: name,
+		WallMs:     float64(wall.Microseconds()) / 1000,
+		Allocs:     after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}, nil
 }
 
 func fatal(name string, err error) {

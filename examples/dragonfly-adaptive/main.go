@@ -27,7 +27,7 @@ func main() {
 	tr := workload.Alltoall(nodes, 256*1024, 4)
 
 	run := func(name string, routes *routing.Routes) netsim.Time {
-		net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+		net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -154,9 +154,13 @@ func (c *Controller) Deploy(g *topology.Graph, opt Options) (*Deployment, error)
 	}
 	c.nextCookie = cookie
 	c.nextTagBase = tagBase + projection.TagSpace(plan, routes)
-	// The deployment's routes are shared read-only by every simulation
-	// of this topology; build the lookup index before any of them race.
+	// The deployment's routes and the physical flow tables are shared
+	// read-only by every simulation of this topology; build the lookup
+	// index + FIB and the tables' dst indices before any of them race.
 	routes.Prime()
+	for _, sw := range c.Physical {
+		sw.Table.Prime()
+	}
 	entries := 0
 	for _, sw := range switches {
 		for _, e := range sw.Table.Entries() {

@@ -165,7 +165,7 @@ func TestMonitorActiveRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,12 +37,17 @@ func NewReactive(routes *routing.Routes, setup netsim.Time) *Reactive {
 	if setup <= 0 {
 		setup = 500 * netsim.Microsecond
 	}
+	routes.FIB() // eager compile; Forward reuses the memoized table
 	return &Reactive{Routes: routes, SetupLatency: setup, installed: map[reactiveKey]bool{}}
 }
 
-// Forward implements netsim.Forwarder.
+// Forward implements netsim.Forwarder. The per-packet rule match runs
+// on the route set's memoized FIB (re-fetched each call so later
+// AddRule mutations stay visible); the rule granularity (wildcard
+// shape) comes from the matched *Rule, which FIB.Rule returns
+// identically to Routes.Lookup.
 func (r *Reactive) Forward(sw, inPort int, pkt *netsim.Packet) (int, int, netsim.Time, bool) {
-	rule := r.Routes.Lookup(sw, inPort, pkt.Dst, pkt.Tag)
+	rule := r.Routes.FIB().Rule(sw, inPort, pkt.Dst, pkt.Tag)
 	if rule == nil {
 		return 0, 0, 0, false
 	}

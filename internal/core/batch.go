@@ -1,10 +1,7 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
+	"repro/internal/par"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -19,53 +16,12 @@ import (
 // giving every simulation its own Network/engine and priming shared
 // read-only structures (topologies, route sets, SDT deployments)
 // before the fan-out.
+//
+// The implementation lives in the leaf package internal/par so the
+// routing strategies can reuse the same pool for their per-destination
+// route builds without an import cycle.
 func ParallelFor(workers, n int, job func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next   int64 = -1
-		failed atomic.Bool
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		// firstErr keeps the error of the lowest job index so parallel
-		// runs fail with the same error a serial run would hit first.
-		firstErr    error
-		firstErrIdx int
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if err := job(i); err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if firstErr == nil || i < firstErrIdx {
-						firstErr, firstErrIdx = err, i
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.For(workers, n, job)
 }
 
 // TraceJob is one independent workload execution for RunBatch.

@@ -123,10 +123,11 @@ func (tb *Testbed) Network(g *topology.Graph, strat routing.Strategy, mode Mode)
 		}
 	}
 	// The network's route set may be shared across concurrent
-	// simulations; make sure its lazy lookup index exists before the
-	// fabric starts forwarding. (No-op for SDT: Deploy already primed.)
+	// simulations; make sure its lazy lookup index and compiled FIB
+	// exist before the fabric starts forwarding. (No-op for SDT: Deploy
+	// already primed.)
 	routes.Prime()
-	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, tb.Cfg, crossbarOf, sdtExtra)
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), tb.Cfg, crossbarOf, sdtExtra)
 	if err != nil {
 		return nil, nil, err
 	}

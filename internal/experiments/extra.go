@@ -150,7 +150,7 @@ func ActiveRouting(nodes, bytes int) (*ActiveRoutingResult, error) {
 	tr := workload.Alltoall(nodes, bytes, 4)
 
 	run := func(routes *routing.Routes) (netsim.Time, *netsim.Network, error) {
-		net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+		net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -162,7 +162,7 @@ func TestQuickDeliveryExact(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		net, err := NewNetwork(g, RouteForwarder{routes}, DefaultConfig(), nil, false)
+		net, err := NewNetwork(g, NewRouteForwarder(routes), DefaultConfig(), nil, false)
 		if err != nil {
 			return false
 		}
@@ -182,7 +182,7 @@ func TestQuickRTTMonotoneInSize(t *testing.T) {
 	g := topology.Line(4, 1)
 	routes, _ := routing.ShortestPath{}.Compute(g)
 	rtt := func(bytes int) Time {
-		net, err := NewNetwork(g, RouteForwarder{routes}, DefaultConfig(), nil, false)
+		net, err := NewNetwork(g, NewRouteForwarder(routes), DefaultConfig(), nil, false)
 		if err != nil {
 			return -1
 		}

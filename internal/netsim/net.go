@@ -255,14 +255,47 @@ type Forwarder interface {
 
 // RouteForwarder forwards using a routing rule set (control plane
 // compiled from the same rules that fill the OpenFlow tables) with
-// every entry pre-installed (proactive deployment).
+// every entry pre-installed (proactive deployment). The per-hop
+// decision runs on the compiled FIB — a dense array load — rather than
+// the rule-index probe of Routes.Lookup; the two are
+// differential-tested to agree on every tuple.
+//
+// Every Forward goes through the route set's memoized FIB accessor —
+// never a snapshot — so rules added later (the manual-strategy
+// workflow) invalidate and recompile transparently, exactly as the
+// Lookup-based forwarder behaved. Construct with NewRouteForwarder
+// where possible: it compiles the FIB eagerly, so a route set handed
+// to concurrent simulations afterwards is already built (an un-Primed
+// Routes shared across goroutines races on the lazy first build — see
+// routing.Prime).
 type RouteForwarder struct {
 	Routes *routing.Routes
 }
 
+// NewRouteForwarder eagerly compiles the route set's FIB and returns a
+// forwarder over it.
+func NewRouteForwarder(r *routing.Routes) RouteForwarder {
+	r.FIB()
+	return RouteForwarder{Routes: r}
+}
+
 // Forward implements Forwarder.
 func (rf RouteForwarder) Forward(sw, inPort int, pkt *Packet) (int, int, Time, bool) {
-	rule := rf.Routes.Lookup(sw, inPort, pkt.Dst, pkt.Tag)
+	out, tag, ok := rf.Routes.FIB().Forward(sw, inPort, pkt.Dst, pkt.Tag)
+	return out, tag, 0, ok
+}
+
+// LookupForwarder is the uncompiled reference Forwarder backed by
+// Routes.Lookup. It exists as the oracle the FIB fast path is verified
+// against (equivalence tests run full simulations both ways and demand
+// identical outputs); simulations should use RouteForwarder.
+type LookupForwarder struct {
+	Routes *routing.Routes
+}
+
+// Forward implements Forwarder.
+func (lf LookupForwarder) Forward(sw, inPort int, pkt *Packet) (int, int, Time, bool) {
+	rule := lf.Routes.Lookup(sw, inPort, pkt.Dst, pkt.Tag)
 	if rule == nil {
 		return 0, 0, 0, false
 	}

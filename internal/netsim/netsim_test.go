@@ -47,7 +47,7 @@ func buildLine(t testing.TB, n, hostsPer int, cfg Config) (*Network, *topology.G
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := NewNetwork(g, RouteForwarder{routes}, cfg, nil, false)
+	net, err := NewNetwork(g, NewRouteForwarder(routes), cfg, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestAppAlltoallCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := NewNetwork(g, RouteForwarder{routes}, cfg, nil, false)
+	net, err := NewNetwork(g, NewRouteForwarder(routes), cfg, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestSDTSharedCrossbarOverheadSmall(t *testing.T) {
 		if sdt {
 			xof = func(v int) int { return 0 } // all sub-switches on one physical switch
 		}
-		net, err := NewNetwork(g, RouteForwarder{routes}, cfg, xof, sdt)
+		net, err := NewNetwork(g, NewRouteForwarder(routes), cfg, xof, sdt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -339,7 +339,7 @@ func TestCutThroughBeatsStoreAndForward(t *testing.T) {
 	rtt := func(ct bool) Time {
 		cfg := DefaultConfig()
 		cfg.CutThrough = ct
-		net, err := NewNetwork(g, RouteForwarder{routes}, cfg, nil, false)
+		net, err := NewNetwork(g, NewRouteForwarder(routes), cfg, nil, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -356,7 +356,7 @@ func TestTableMissDrops(t *testing.T) {
 	g := topology.Line(2, 1)
 	routes, _ := routing.ShortestPath{}.Compute(g)
 	cfg := DefaultConfig()
-	net, err := NewNetwork(g, RouteForwarder{routes}, cfg, nil, false)
+	net, err := NewNetwork(g, NewRouteForwarder(routes), cfg, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +445,7 @@ func BenchmarkPingpong64B(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net, _ := NewNetwork(g, RouteForwarder{routes}, cfg, nil, false)
+		net, _ := NewNetwork(g, NewRouteForwarder(routes), cfg, nil, false)
 		hosts := g.Hosts()
 		MeasurePingpong(net, hosts[0], hosts[7], 64, 10)
 	}
@@ -457,7 +457,7 @@ func BenchmarkIncastPFC(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net, _ := NewNetwork(g, RouteForwarder{routes}, cfg, nil, false)
+		net, _ := NewNetwork(g, NewRouteForwarder(routes), cfg, nil, false)
 		hosts := g.Hosts()
 		for j, h := range hosts {
 			if j == 3 {

@@ -16,7 +16,7 @@ func runApp(t *testing.T, programs [][]Op, rec *Recorder) Time {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := NewNetwork(g, RouteForwarder{routes}, DefaultConfig(), nil, false)
+	net, err := NewNetwork(g, NewRouteForwarder(routes), DefaultConfig(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestRecordThenReplayAcrossPlatforms(t *testing.T) {
 		if sdt {
 			xof = func(int) int { return 0 }
 		}
-		net, err := NewNetwork(g, RouteForwarder{routes}, DefaultConfig(), xof, sdt)
+		net, err := NewNetwork(g, NewRouteForwarder(routes), DefaultConfig(), xof, sdt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -142,11 +142,26 @@ func (e *ErrTableFull) Error() string {
 }
 
 // Table is a capacity-bounded, priority-ordered flow table.
+//
+// Lookup runs on an exact-match index: entries with a concrete DstHost
+// live in per-destination buckets, fully dst-wildcarded entries in a
+// shared fallback list, both in match order. A lookup merge-scans its
+// destination's bucket against the fallback list by (priority, seq)
+// instead of scanning every installed entry — the SDT substrate
+// installs per-(dst, sub-switch) entries almost exclusively, so the
+// scan shrinks from O(table) to O(rules for this destination).
 type Table struct {
 	Capacity int // 0 = unlimited
 	entries  []*FlowEntry
 	nextSeq  int
 	owner    string
+
+	// Lookup index, rebuilt lazily after mutations: byDst buckets
+	// entries by Match.DstHost; wild holds the DstHost==Any entries.
+	// Both keep the entries slice's match order.
+	byDst    map[int][]*FlowEntry
+	wild     []*FlowEntry
+	idxDirty bool
 }
 
 // Len reports the number of installed entries.
@@ -171,11 +186,9 @@ func (t *Table) Add(e FlowEntry) error {
 	ne := e
 	t.entries = append(t.entries, &ne)
 	sort.SliceStable(t.entries, func(i, j int) bool {
-		if t.entries[i].Priority != t.entries[j].Priority {
-			return t.entries[i].Priority > t.entries[j].Priority
-		}
-		return t.entries[i].seq < t.entries[j].seq
+		return before(t.entries[i], t.entries[j])
 	})
+	t.idxDirty = true
 	return nil
 }
 
@@ -193,15 +206,77 @@ func (t *Table) RemoveCookie(cookie uint64) int {
 		}
 	}
 	t.entries = kept
+	t.idxDirty = true
 	return removed
 }
 
 // Clear removes all entries.
-func (t *Table) Clear() { t.entries = nil }
+func (t *Table) Clear() {
+	t.entries = nil
+	t.byDst = nil
+	t.wild = nil
+	t.idxDirty = false
+}
 
-// Lookup returns the highest-priority entry covering p, or nil.
-func (t *Table) Lookup(p PacketMeta) *FlowEntry {
+// Prime eagerly (re)builds the lookup index. Lookup otherwise builds
+// it lazily on first use after a mutation, which makes a first Lookup
+// a write: a Table shared read-only across goroutines must be Primed
+// after its last Add/RemoveCookie — the controller does this at deploy
+// time — exactly like routing.Routes.Prime. (The pre-index linear-scan
+// Lookup was safe for concurrent readers; the index is not, without
+// this.)
+func (t *Table) Prime() {
+	if t.idxDirty || (t.byDst == nil && t.entries != nil) {
+		t.buildIndex()
+	}
+}
+
+// buildIndex rebuilds the dst buckets from the (already match-ordered)
+// entries slice.
+func (t *Table) buildIndex() {
+	t.byDst = make(map[int][]*FlowEntry)
+	t.wild = t.wild[:0]
 	for _, e := range t.entries {
+		if e.Match.DstHost == Any {
+			t.wild = append(t.wild, e)
+		} else {
+			t.byDst[e.Match.DstHost] = append(t.byDst[e.Match.DstHost], e)
+		}
+	}
+	t.idxDirty = false
+}
+
+// before is THE match-order comparator — higher priority first, then
+// install order — shared by Add's sort and Lookup's bucket merge so
+// the two orderings cannot drift apart.
+func before(a, b *FlowEntry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+// Lookup returns the highest-priority entry covering p, or nil. Only
+// the packet destination's bucket and the dst-wildcard fallback list
+// are scanned — an entry for any other destination cannot cover p — in
+// their merged match order, so the result is identical to a linear
+// scan of the full table. Lookup performs no allocation once the index
+// exists; the first call after a mutation rebuilds it (see Prime for
+// the concurrent-sharing contract).
+func (t *Table) Lookup(p PacketMeta) *FlowEntry {
+	t.Prime()
+	bucket := t.byDst[p.DstHost]
+	wild := t.wild
+	bi, wi := 0, 0
+	for bi < len(bucket) || wi < len(wild) {
+		var e *FlowEntry
+		if wi >= len(wild) || (bi < len(bucket) && before(bucket[bi], wild[wi])) {
+			e = bucket[bi]
+			bi++
+		} else {
+			e = wild[wi]
+			wi++
+		}
 		if e.Match.Covers(p) {
 			return e
 		}

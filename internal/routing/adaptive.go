@@ -179,5 +179,5 @@ func dedupeRules(r *Routes) {
 		}
 	}
 	r.Rules = out
-	r.index = nil
+	r.invalidate()
 }

@@ -67,14 +67,17 @@ func (d *DependencyGraph) FindCycle() []Channel {
 	for i := range parent {
 		parent[i] = -1
 	}
+	// Sorted neighbour order keeps cycle reports deterministic. Rows
+	// are sorted once in place up front — addDep order carries no
+	// meaning — instead of cloning and re-sorting on every DFS visit.
+	for i := range d.adj {
+		sort.Ints(d.adj[i])
+	}
 	var cycleAt, cycleTo int = -1, -1
 	var dfs func(v int) bool
 	dfs = func(v int) bool {
 		color[v] = grey
-		// Sorted neighbour order keeps cycle reports deterministic.
-		nbrs := append([]int(nil), d.adj[v]...)
-		sort.Ints(nbrs)
-		for _, w := range nbrs {
+		for _, w := range d.adj[v] {
 			switch color[w] {
 			case white:
 				parent[w] = v

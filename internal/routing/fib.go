@@ -1,0 +1,258 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/openflow"
+)
+
+// FIB is a compiled forwarding table: Routes flattened into one dense
+// per-(switch, destination) slot array so the per-hop forwarding
+// decision — the hottest operation in the whole simulator — is a single
+// array load instead of a map probe over rule indices.
+//
+// Layout: slot (sw, dst) lives at slots[sw*stride+dst], stride =
+// len(Topo.Vertices). The common case — a single fully wildcarded rule
+// (InPort: any, Tag: any), which is what every Table III strategy
+// installs for most (switch, dst) pairs — packs into one uint32:
+//
+//	bits  0..15  out port (0 = empty slot / table miss)
+//	bits 16..30  new tag + 1 (0 = keep the packet's tag)
+//	bit  31      spill flag
+//
+// Slots whose rule set includes port- or tag-qualified rules (the
+// Dragonfly/Torus VC transitions) or a rule whose fields overflow the
+// packed encoding carry the spill flag; bits 0..30 then index a small
+// per-slot spill list holding the full rules in Lookup's
+// most-specific-first order. Forward is branch-light and
+// allocation-free on both paths.
+//
+// A FIB is immutable once compiled and safe for concurrent readers; it
+// must agree with Routes.Lookup on every (switch, inPort, dst, tag)
+// tuple — Lookup stays as the reference implementation and the
+// differential tests in fib_test.go enforce the equivalence.
+type FIB struct {
+	routes *Routes
+	stride int
+	slots  []uint32
+	// ruleIdx mirrors slots for fast entries: the index into
+	// routes.Rules of the packed rule (-1 when empty or spilled). The
+	// reactive controller needs the matched *Rule, not just the action.
+	ruleIdx []int32
+	// Spill storage in CSR form: spill group k holds
+	// spillRules[spillOff[k]:spillOff[k+1]].
+	spillOff   []int32
+	spillRules []spillRule
+	// extra holds slots whose switch or destination ID falls outside
+	// the dense array — only manual rule sets referencing IDs beyond
+	// the vertex range produce these. Always compiled as spill groups.
+	extra map[[2]int]uint32
+}
+
+// spillRule is one qualified (or encoding-overflowing) rule in a spill
+// list, stored unpacked so arbitrary manual rule sets round-trip.
+type spillRule struct {
+	inPort int32 // 0 = any
+	tag    int32 // openflow.Any = any
+	out    int32
+	newTag int32 // -1 = keep
+	rule   int32 // index into routes.Rules
+}
+
+const fibSpill = uint32(1) << 31
+
+// fibPackable reports whether a rule's action fits the packed fast
+// encoding (port- and tag-wildcarded, fields in range).
+func fibPackable(r *Rule) bool {
+	return r.InPort == 0 && r.Tag == openflow.Any &&
+		r.OutPort > 0 && r.OutPort <= 0xffff && r.NewTag < 0x7ffe
+}
+
+func fibPack(r *Rule) uint32 {
+	v := uint32(r.OutPort)
+	if r.NewTag >= 0 {
+		v |= uint32(r.NewTag+1) << 16
+	}
+	return v
+}
+
+// Compile flattens the route set into a FIB. The result snapshots the
+// current rules: adding rules afterwards requires recompiling (the
+// memoized accessor FIB invalidates automatically, exactly like the
+// lookup index).
+func (r *Routes) Compile() *FIB {
+	r.buildIndex()
+	n := len(r.Topo.Vertices)
+	f := &FIB{
+		routes:   r,
+		stride:   n,
+		slots:    make([]uint32, n*n),
+		ruleIdx:  make([]int32, n*n),
+		spillOff: []int32{0},
+	}
+	for i := range f.ruleIdx {
+		f.ruleIdx[i] = -1
+	}
+	// Deterministic slot order keeps the spill arrays (and therefore
+	// the whole FIB) reproducible independent of map iteration.
+	for sw := 0; sw < n; sw++ {
+		for dst := 0; dst < n; dst++ {
+			idx := r.index[[2]int{sw, dst}]
+			if len(idx) == 0 {
+				continue
+			}
+			slot := sw*n + dst
+			// Fast path only when every rule after the first can never
+			// win: the first rule is fully wildcarded (most specific
+			// first means the rest are too, so they are shadowed) and
+			// its action packs.
+			if first := &r.Rules[idx[0]]; fibPackable(first) {
+				f.slots[slot] = fibPack(first)
+				f.ruleIdx[slot] = int32(idx[0])
+				continue
+			}
+			f.slots[slot] = f.spillGroup(r, idx)
+		}
+	}
+	// Manual rule sets may reference switch/destination IDs beyond the
+	// vertex range; those slots go to the overflow map (sorted keys
+	// keep the spill arrays deterministic).
+	var oor [][2]int
+	for key := range r.index {
+		if uint(key[0]) >= uint(n) || uint(key[1]) >= uint(n) {
+			oor = append(oor, key)
+		}
+	}
+	if len(oor) > 0 {
+		sort.Slice(oor, func(i, j int) bool {
+			if oor[i][0] != oor[j][0] {
+				return oor[i][0] < oor[j][0]
+			}
+			return oor[i][1] < oor[j][1]
+		})
+		f.extra = make(map[[2]int]uint32, len(oor))
+		for _, key := range oor {
+			f.extra[key] = f.spillGroup(r, r.index[key])
+		}
+	}
+	return f
+}
+
+// spillGroup appends the indexed rules (already most-specific-first) as
+// a new spill group and returns its slot word.
+func (f *FIB) spillGroup(r *Routes, idx []int) uint32 {
+	k := len(f.spillOff) - 1
+	for _, ri := range idx {
+		rule := &r.Rules[ri]
+		f.spillRules = append(f.spillRules, spillRule{
+			inPort: int32(rule.InPort),
+			tag:    int32(rule.Tag),
+			out:    int32(rule.OutPort),
+			newTag: int32(rule.NewTag),
+			rule:   int32(ri),
+		})
+	}
+	f.spillOff = append(f.spillOff, int32(len(f.spillRules)))
+	return fibSpill | uint32(k)
+}
+
+// Forward returns the egress port and the packet's resulting tag for a
+// packet on switch sw arriving on inPort with the given destination and
+// current tag. ok is false on a table miss. It performs no allocation
+// and, on the fast path, a single array load.
+func (f *FIB) Forward(sw, inPort, dst, tag int) (outPort, newTag int, ok bool) {
+	var v uint32
+	if uint(sw) < uint(f.stride) && uint(dst) < uint(f.stride) {
+		v = f.slots[sw*f.stride+dst]
+	} else if f.extra != nil {
+		v = f.extra[[2]int{sw, dst}]
+	}
+	if v == 0 {
+		return 0, 0, false
+	}
+	if v&fibSpill == 0 {
+		nt := int(v >> 16)
+		if nt == 0 {
+			return int(v & 0xffff), tag, true
+		}
+		return int(v & 0xffff), nt - 1, true
+	}
+	if sr := f.spillMatch(v, inPort, tag); sr != nil {
+		if sr.newTag >= 0 {
+			return int(sr.out), int(sr.newTag), true
+		}
+		return int(sr.out), tag, true
+	}
+	return 0, 0, false
+}
+
+// spillMatch scans slot word v's spill group for the first entry —
+// they are stored most-specific-first — matching (inPort, tag). The
+// single match loop shared by Forward and Rule; allocation-free.
+func (f *FIB) spillMatch(v uint32, inPort, tag int) *spillRule {
+	k := v &^ fibSpill
+	rules := f.spillRules[f.spillOff[k]:f.spillOff[k+1]]
+	for i := range rules {
+		sr := &rules[i]
+		if sr.inPort != 0 && int(sr.inPort) != inPort {
+			continue
+		}
+		if sr.tag != openflow.Any && int(sr.tag) != tag {
+			continue
+		}
+		return sr
+	}
+	return nil
+}
+
+// Rule returns the matched rule itself — the same *Rule Lookup would
+// return — for callers that need rule granularity (the reactive
+// controller keys installed flows by the rule's wildcard shape). nil on
+// a miss.
+func (f *FIB) Rule(sw, inPort, dst, tag int) *Rule {
+	var v uint32
+	inRange := uint(sw) < uint(f.stride) && uint(dst) < uint(f.stride)
+	if inRange {
+		v = f.slots[sw*f.stride+dst]
+	} else if f.extra != nil {
+		v = f.extra[[2]int{sw, dst}]
+	}
+	if v == 0 {
+		return nil
+	}
+	if v&fibSpill == 0 {
+		// Fast-packed slots only exist in the dense array (overflow
+		// slots always spill), so ruleIdx is addressable here.
+		return &f.routes.Rules[f.ruleIdx[sw*f.stride+dst]]
+	}
+	if sr := f.spillMatch(v, inPort, tag); sr != nil {
+		return &f.routes.Rules[sr.rule]
+	}
+	return nil
+}
+
+// Routes returns the rule set this FIB was compiled from.
+func (f *FIB) Routes() *Routes { return f.routes }
+
+// Stats summarises the compiled layout for dumps and DESIGN.md's
+// accounting: how many slots take the packed fast path vs a spill list.
+func (f *FIB) Stats() (fast, spilled, spillRules int) {
+	for _, v := range f.slots {
+		switch {
+		case v == 0:
+		case v&fibSpill == 0:
+			fast++
+		default:
+			spilled++
+		}
+	}
+	return fast, spilled, len(f.spillRules)
+}
+
+// String renders a one-line layout summary.
+func (f *FIB) String() string {
+	fast, spilled, rules := f.Stats()
+	return fmt.Sprintf("FIB{%s: %d fast slots, %d spill slots (%d rules)}",
+		f.routes.Strategy, fast, spilled, rules)
+}

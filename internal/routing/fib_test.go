@@ -1,0 +1,274 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// fibCases is the differential matrix of the compiled-FIB acceptance
+// criterion: every built-in strategy on the paper's topology families
+// (fat-tree, dragonfly, torus — plus the mesh and generic strategies
+// that share code paths with them).
+func fibCases(t testing.TB) []*Routes {
+	t.Helper()
+	type tc struct {
+		strat Strategy
+		g     *topology.Graph
+	}
+	cases := []tc{
+		{FatTreeDFS{}, topology.FatTree(4)},
+		{DragonflyMinimal{}, topology.Dragonfly(4, 9, 2, 1)},
+		{DragonflyUGAL{Bias: 1}, topology.Dragonfly(4, 9, 2, 1)},
+		{TorusClue{Dims: 2}, topology.Torus2D(5, 5, 1)},
+		{TorusClue{Dims: 3}, topology.Torus3D(3, 3, 3, 1)},
+		{MeshXY{}, topology.Mesh2D(4, 4, 1)},
+		{MeshXYZ{}, topology.Mesh3D(3, 3, 3, 1)},
+		{ShortestPath{}, topology.FatTree(4)},
+		{ShortestPath{}, topology.Torus2D(4, 4, 1)},
+	}
+	var out []*Routes
+	for _, c := range cases {
+		r, err := c.strat.Compute(c.g)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", c.strat.Name(), c.g.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestFIBMatchesLookupExhaustive checks FIB.Forward and FIB.Rule
+// against the Routes.Lookup reference on EVERY (switch, inPort, dst,
+// tag) tuple: all switches, all logical ports (0 = injection, plus one
+// past the radix), all host destinations plus an unknown one, and all
+// tags 0..NumVCs (one past the used range included).
+func TestFIBMatchesLookupExhaustive(t *testing.T) {
+	for _, r := range fibCases(t) {
+		g := r.Topo
+		fib := r.Compile()
+		maxPort := g.Radix() + 1
+		dsts := append(append([]int(nil), g.Hosts()...), len(g.Vertices)) // unknown dst probes the miss path
+		tuples := 0
+		for _, sw := range g.Switches() {
+			for _, dst := range dsts {
+				for inPort := 0; inPort <= maxPort; inPort++ {
+					for tag := 0; tag <= r.NumVCs; tag++ {
+						tuples++
+						want := r.Lookup(sw, inPort, dst, tag)
+						gotRule := fib.Rule(sw, inPort, dst, tag)
+						if want != gotRule {
+							t.Fatalf("%s on %s: Rule(%d,%d,%d,%d) = %+v, Lookup = %+v",
+								r.Strategy, g.Name, sw, inPort, dst, tag, gotRule, want)
+						}
+						out, newTag, ok := fib.Forward(sw, inPort, dst, tag)
+						if want == nil {
+							if ok {
+								t.Fatalf("%s on %s: Forward(%d,%d,%d,%d) hit (out=%d), Lookup missed",
+									r.Strategy, g.Name, sw, inPort, dst, tag, out)
+							}
+							continue
+						}
+						wantTag := tag
+						if want.NewTag >= 0 {
+							wantTag = want.NewTag
+						}
+						if !ok || out != want.OutPort || newTag != wantTag {
+							t.Fatalf("%s on %s: Forward(%d,%d,%d,%d) = (%d,%d,%v), want (%d,%d,true)",
+								r.Strategy, g.Name, sw, inPort, dst, tag, out, newTag, ok, want.OutPort, wantTag)
+						}
+					}
+				}
+			}
+		}
+		if tuples == 0 {
+			t.Fatalf("%s on %s: empty differential", r.Strategy, g.Name)
+		}
+	}
+}
+
+// TestFIBManualRoutesSpecificity exercises the spill path directly:
+// overlapping wildcard shapes on one (switch, dst) slot must resolve in
+// Lookup's most-specific-first order, and out-of-encoding-range fields
+// must round-trip through the unpacked spill entries.
+func TestFIBManualRoutesSpecificity(t *testing.T) {
+	g := topology.Line(2, 1)
+	r := NewManualRoutes(g, "manual", 2)
+	sw := g.Switches()[0]
+	r.AddRule(Rule{Switch: sw, Dst: 99, Tag: openflow.Any, OutPort: 1, NewTag: -1})
+	r.AddRule(Rule{Switch: sw, Dst: 99, Tag: 1, OutPort: 2, NewTag: 0})
+	r.AddRule(Rule{Switch: sw, InPort: 3, Dst: 99, Tag: openflow.Any, OutPort: 3, NewTag: -1})
+	r.AddRule(Rule{Switch: sw, InPort: 3, Dst: 99, Tag: 1, OutPort: 4, NewTag: -1})
+	// A fully wildcarded rule whose port overflows the packed encoding
+	// (its own slot must spill rather than truncate).
+	r.AddRule(Rule{Switch: sw, Dst: 98, Tag: openflow.Any, OutPort: 1 << 20, NewTag: -1})
+	fib := r.Compile()
+	for _, probe := range [][2]int{{1, 0}, {1, 1}, {3, 0}, {3, 1}, {2, 0}} {
+		inPort, tag := probe[0], probe[1]
+		for _, dst := range []int{98, 99, 97} {
+			want := r.Lookup(sw, inPort, dst, tag)
+			if got := fib.Rule(sw, inPort, dst, tag); got != want {
+				t.Errorf("Rule(%d,%d,%d,%d) = %+v, want %+v", sw, inPort, dst, tag, got, want)
+			}
+			out, _, ok := fib.Forward(sw, inPort, dst, tag)
+			if (want != nil) != ok || (want != nil && out != want.OutPort) {
+				t.Errorf("Forward(%d,%d,%d,%d) = (%d,%v) disagrees with Lookup %+v",
+					sw, inPort, dst, tag, out, ok, want)
+			}
+		}
+	}
+	// Mutating the rule set must invalidate the memoized FIB.
+	old := r.FIB()
+	r.AddRule(Rule{Switch: sw, Dst: 97, Tag: openflow.Any, OutPort: 5, NewTag: -1})
+	if r.FIB() == old {
+		t.Fatal("FIB not invalidated by AddRule")
+	}
+	if out, _, ok := r.FIB().Forward(sw, 1, 97, 0); !ok || out != 5 {
+		t.Fatalf("recompiled FIB missed new rule: out=%d ok=%v", out, ok)
+	}
+}
+
+// TestFIBStats sanity-checks the layout accounting: single-VC
+// strategies must compile entirely into fast slots, VC-transition
+// strategies must have spill slots exactly where qualified rules live.
+func TestFIBStats(t *testing.T) {
+	sp, err := ShortestPath{}.Compute(topology.FatTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, spilled, _ := sp.Compile().Stats()
+	if spilled != 0 || fast == 0 {
+		t.Errorf("shortest-path on fat-tree: fast=%d spilled=%d, want all fast", fast, spilled)
+	}
+	tor, err := TorusClue{Dims: 2}.Compute(topology.Torus2D(5, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, spilled, _ = tor.Compile().Stats()
+	if spilled == 0 {
+		t.Error("torus dateline routing compiled with no spill slots; in-port rules lost?")
+	}
+	if fast == 0 {
+		t.Error("torus routing has fast-path slots (delivery rules); none compiled")
+	}
+}
+
+// TestComputeParallelDeterminism recomputes every differential case
+// serially and with a forced 4-worker fan-out: the rule slices must be
+// deeply identical (the per-destination buckets merge in destination
+// order, so scheduling must not leak into the output). Run under -race
+// this also proves the builds only read shared graph state.
+func TestComputeParallelDeterminism(t *testing.T) {
+	defer func() { computeWorkers = 0 }()
+	computeWorkers = 1
+	serial := fibCases(t)
+	computeWorkers = 4
+	parallel := fibCases(t)
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if len(s.Rules) != len(p.Rules) {
+			t.Fatalf("%s on %s: %d rules serial, %d parallel", s.Strategy, s.Topo.Name, len(s.Rules), len(p.Rules))
+		}
+		for j := range s.Rules {
+			if s.Rules[j] != p.Rules[j] {
+				t.Fatalf("%s on %s: rule %d differs: serial %+v parallel %+v",
+					s.Strategy, s.Topo.Name, j, s.Rules[j], p.Rules[j])
+			}
+		}
+	}
+}
+
+// BenchmarkForward measures the per-hop forwarding decision on the
+// compiled FIB — the per-packet hot path — mixing fast-slot (fat-tree)
+// and spill-slot (torus VC transition) lookups. Must report 0
+// allocs/op: this is the acceptance criterion the CI bench smoke
+// enforces.
+func BenchmarkForward(b *testing.B) {
+	type probe struct{ sw, inPort, dst, tag int }
+	mk := func(strat Strategy, g *topology.Graph) (*FIB, []probe) {
+		r, err := strat.Compute(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fib := r.Compile()
+		var ps []probe
+		hosts := g.Hosts()
+		for i, sw := range g.Switches() {
+			dst := hosts[i%len(hosts)]
+			ps = append(ps, probe{sw, 1 + i%g.Radix(), dst, i % r.NumVCs})
+		}
+		return fib, ps
+	}
+	ftFib, ftProbes := mk(FatTreeDFS{}, topology.FatTree(8))
+	toFib, toProbes := mk(TorusClue{Dims: 3}, topology.Torus3D(4, 4, 4, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		p := ftProbes[i%len(ftProbes)]
+		out, _, _ := ftFib.Forward(p.sw, p.inPort, p.dst, p.tag)
+		q := toProbes[i%len(toProbes)]
+		out2, _, _ := toFib.Forward(q.sw, q.inPort, q.dst, q.tag)
+		sink += out + out2
+	}
+	if sink < 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+// BenchmarkLookupReference is the same probe mix through the
+// Routes.Lookup reference path, for the DESIGN.md fast-path comparison.
+func BenchmarkLookupReference(b *testing.B) {
+	r, err := FatTreeDFS{}.Compute(topology.FatTree(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Prime()
+	g := r.Topo
+	hosts := g.Hosts()
+	sws := g.Switches()
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sw := sws[i%len(sws)]
+		if rule := r.Lookup(sw, 1, hosts[i%len(hosts)], 0); rule != nil {
+			sink += rule.OutPort
+		}
+	}
+	if sink < 0 {
+		b.Fatal("unreachable")
+	}
+}
+
+// BenchmarkRouteCompute measures a full strategy build at Fig. 13
+// scale (Dragonfly a=4 g=9 h=2 — the evaluation's largest routed
+// fabric), allocation-reported for the BENCH_*.json perf trajectory.
+func BenchmarkRouteCompute(b *testing.B) {
+	g := topology.Dragonfly(4, 9, 2, 1)
+	g.CSR()
+	g.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (DragonflyMinimal{}).Compute(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteComputeTorus tracks the dimension-order builder (the
+// strategy that lost the per-(dst, switch) port-list recomputation).
+func BenchmarkRouteComputeTorus(b *testing.B) {
+	g := topology.Torus3D(4, 4, 4, 1)
+	g.CSR()
+	g.Hosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (TorusClue{Dims: 3}).Compute(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

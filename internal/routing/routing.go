@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/openflow"
+	"repro/internal/par"
 	"repro/internal/topology"
 )
 
@@ -40,6 +41,7 @@ type Routes struct {
 	Rules    []Rule
 
 	index map[[2]int][]int // (switch, dst) -> rule indices, most specific first
+	fib   *FIB             // compiled fast path, memoized by FIB()
 }
 
 // Strategy computes routes for a topology.
@@ -65,7 +67,13 @@ func (r *Routes) AddRule(rule Rule) { r.add(rule) }
 
 func (r *Routes) add(rule Rule) {
 	r.Rules = append(r.Rules, rule)
+	r.invalidate()
+}
+
+// invalidate drops the derived lookup structures after a rule mutation.
+func (r *Routes) invalidate() {
 	r.index = nil
+	r.fib = nil
 }
 
 func (r *Routes) buildIndex() {
@@ -93,17 +101,48 @@ func (r *Routes) buildIndex() {
 	}
 }
 
-// Prime eagerly builds the lookup index so the route set can be shared
-// read-only across concurrent simulations (Lookup otherwise builds it
-// lazily on first use, which is a data race under parallel sweeps).
-func (r *Routes) Prime() { r.buildIndex() }
+// Prime eagerly builds the lookup index and the compiled FIB so the
+// route set can be shared read-only across concurrent simulations.
+// Lookup and FIB otherwise build their structures lazily on first use,
+// and two goroutines racing on that first build is a data race: a
+// Routes shared across goroutines MUST be Primed (or have FIB/Lookup
+// called once) before the fan-out. The parallel experiment sweeps do
+// this serially up front and the race-tested suite
+// (go test -race ./internal/core ./internal/experiments) runs every
+// sweep at multiple worker counts to keep that contract honest.
+func (r *Routes) Prime() {
+	r.buildIndex()
+	r.FIB()
+}
+
+// FIB returns the compiled forwarding table for this rule set, building
+// it on first use. The result is invalidated (and recompiled on next
+// call) whenever rules are added. See Prime for the concurrency
+// contract around the lazy build.
+func (r *Routes) FIB() *FIB {
+	if r.fib == nil {
+		r.fib = r.Compile()
+	}
+	return r.fib
+}
 
 // Lookup finds the most specific rule on switch sw for a packet
 // arriving on logical port inPort with the given destination and tag.
 // It returns nil when no rule applies.
+//
+// This is the reference implementation the compiled FIB is
+// differential-tested against; the forwarding hot paths use
+// FIB.Forward. The index nil-check is inlined here (rather than calling
+// buildIndex) so the already-built case — every call after the first on
+// a Primed route set — pays no function-call overhead in the fallback
+// paths that still probe rule granularity.
 func (r *Routes) Lookup(sw, inPort, dst, tag int) *Rule {
-	r.buildIndex()
-	for _, i := range r.index[[2]int{sw, dst}] {
+	idx := r.index
+	if idx == nil {
+		r.buildIndex()
+		idx = r.index
+	}
+	for _, i := range idx[[2]int{sw, dst}] {
 		rule := &r.Rules[i]
 		if rule.InPort != 0 && rule.InPort != inPort {
 			continue
@@ -172,6 +211,45 @@ func addPathRules(r *Routes, g *topology.Graph, path []int, dst int, vcAt func(i
 	}
 }
 
+// computeWorkers is the worker count for per-destination route builds
+// (0 = GOMAXPROCS, 1 = serial). The determinism test forces it above 1
+// so the fan-out is exercised under -race even on single-CPU machines.
+var computeWorkers = 0
+
+// computePerDst fans the per-destination rule builds of a strategy out
+// over the worker pool and merges the outputs deterministically: each
+// destination host gets its own rule bucket (built by `build` calling
+// emit), and the buckets are concatenated in destination order, so the
+// merged rule list is independent of scheduling. Callers follow with
+// sortRules, which is stable, keeping the final route set byte-
+// identical to a serial build.
+//
+// build runs concurrently and must only read shared state; the graph's
+// lazy caches (adjacency, CSR, host/switch lists) are primed here
+// before the fan-out.
+func computePerDst(r *Routes, g *topology.Graph, build func(dst int, emit func(Rule)) error) error {
+	g.CSR()
+	hosts := g.Hosts()
+	perDst := make([][]Rule, len(hosts))
+	err := par.For(computeWorkers, len(hosts), func(hi int) error {
+		// Each job owns exactly its destination's bucket element.
+		return build(hosts[hi], func(rule Rule) { perDst[hi] = append(perDst[hi], rule) })
+	})
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, rs := range perDst {
+		n += len(rs)
+	}
+	r.Rules = make([]Rule, 0, n)
+	for _, rs := range perDst {
+		r.Rules = append(r.Rules, rs...)
+	}
+	r.invalidate()
+	return nil
+}
+
 // ShortestPath is the generic strategy: BFS trees rooted at every
 // destination host's switch, deterministic tie-breaking by vertex ID.
 // Single VC; deadlock-free only on acyclic-channel topologies (trees,
@@ -184,43 +262,55 @@ func (ShortestPath) Name() string { return "shortest-path" }
 // Compute implements Strategy.
 func (ShortestPath) Compute(g *topology.Graph) (*Routes, error) {
 	r := newRoutes(g, "shortest-path", 1)
-	for _, dst := range g.Hosts() {
+	csr := g.CSR()
+	nv := len(g.Vertices)
+	err := computePerDst(r, g, func(dst int, emit func(Rule)) error {
 		root := g.HostSwitch(dst)
 		if root < 0 {
-			return nil, fmt.Errorf("routing: host %d has no switch", dst)
+			return fmt.Errorf("routing: host %d has no switch", dst)
 		}
-		// BFS from root over switches; next[v] = neighbour of v one hop
-		// closer to root.
-		next := map[int]int{root: root}
-		queue := []int{root}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			nbrs := append([]int(nil), g.Neighbors(v)...)
-			sort.Ints(nbrs)
-			for _, o := range nbrs {
-				if g.Vertices[o].Kind != topology.Switch {
+		// BFS from root over switches on the CSR view; next[v] = the
+		// neighbour of v one hop closer to root. CSR rows are pre-
+		// sorted by vertex ID, preserving the deterministic tie-break
+		// without the per-dequeue clone+sort of the neighbour slice.
+		next := make([]int32, nv)
+		for i := range next {
+			next[i] = -1
+		}
+		queue := make([]int32, 1, nv)
+		next[root] = int32(root)
+		queue[0] = int32(root)
+		for qi := 0; qi < len(queue); qi++ {
+			v := int(queue[qi])
+			lo, hi := csr.Row(v)
+			for e := lo; e < hi; e++ {
+				o := csr.Nbr[e]
+				if g.Vertices[o].Kind != topology.Switch || next[o] >= 0 {
 					continue
 				}
-				if _, seen := next[o]; seen {
-					continue
-				}
-				next[o] = v
+				next[o] = int32(v)
 				queue = append(queue, o)
 			}
 		}
-		for sw, nxt := range next {
+		for sw := 0; sw < nv; sw++ {
+			if next[sw] < 0 {
+				continue
+			}
 			var out int
 			if sw == root {
-				out = portTo(g, sw, dst)
+				out = csr.PortTo(sw, dst)
 			} else {
-				out = portTo(g, sw, nxt)
+				out = csr.PortTo(sw, int(next[sw]))
 			}
 			if out == 0 {
-				return nil, fmt.Errorf("routing: no port from %d toward %d", sw, dst)
+				return fmt.Errorf("routing: no port from %d toward %d", sw, dst)
 			}
-			r.add(Rule{Switch: sw, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
+			emit(Rule{Switch: sw, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortRules(r)
 	return r, nil
@@ -240,7 +330,7 @@ func sortRules(r *Routes) {
 		}
 		return a.InPort < b.InPort
 	})
-	r.index = nil
+	r.invalidate()
 }
 
 // CompileLogicalTables instantiates one OpenFlow switch per logical
@@ -290,6 +380,11 @@ func CompileLogicalTables(r *Routes, tableCap int) (map[int]*openflow.Switch, er
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Prime the lookup indices so the compiled tables can be probed
+	// concurrently (the lazy first build is a write).
+	for _, sw := range out {
+		sw.Table.Prime()
 	}
 	return out, nil
 }

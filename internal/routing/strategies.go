@@ -40,10 +40,11 @@ func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
 		return nil, fmt.Errorf("routing: %s is not a fat-tree", g.Name)
 	}
 	r := newRoutes(g, "fattree-dfs", 1)
-	for _, dst := range g.Hosts() {
+	csr := g.CSR()
+	err := computePerDst(r, g, func(dst int, emit func(Rule)) error {
 		hc := g.Vertices[dst].Coord // {3, pod, edge, slot}
 		if len(hc) != 4 {
-			return nil, fmt.Errorf("routing: host %d lacks fat-tree coords", dst)
+			return fmt.Errorf("routing: host %d lacks fat-tree coords", dst)
 		}
 		dPod, dEdge := hc[1], hc[2]
 		spread := dst // deterministic hash: spread by destination ID
@@ -54,8 +55,8 @@ func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
 			switch c[0] {
 			case 2: // edge switch
 				if c[1] == dPod && c[2] == dEdge {
-					r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
-						OutPort: portTo(g, s, dst), NewTag: -1})
+					emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+						OutPort: csr.PortTo(s, dst), NewTag: -1})
 					continue
 				}
 				// Up to aggregation chosen by destination hash.
@@ -70,14 +71,18 @@ func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
 			case 0: // core switch: down to the destination pod's agg in this row
 				nxt = byCoord[key{1, dPod, c[1]}]
 			default:
-				return nil, fmt.Errorf("routing: unknown fat-tree layer %d", c[0])
+				return fmt.Errorf("routing: unknown fat-tree layer %d", c[0])
 			}
-			out := portTo(g, s, nxt)
+			out := csr.PortTo(s, nxt)
 			if out == 0 {
-				return nil, fmt.Errorf("routing: fat-tree: no link %d->%d", s, nxt)
+				return fmt.Errorf("routing: fat-tree: no link %d->%d", s, nxt)
 			}
-			r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
+			emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortRules(r)
 	return r, nil
@@ -99,7 +104,8 @@ func (DragonflyMinimal) Compute(g *topology.Graph) (*Routes, error) {
 		return nil, err
 	}
 	r := newRoutes(g, "dragonfly-minimal", 2)
-	for _, dst := range g.Hosts() {
+	csr := g.CSR()
+	err = computePerDst(r, g, func(dst int, emit func(Rule)) error {
 		D := g.HostSwitch(dst)
 		gd := g.Vertices[D].Coord[0]
 		for _, s := range g.Switches() {
@@ -109,28 +115,32 @@ func (DragonflyMinimal) Compute(g *topology.Graph) (*Routes, error) {
 				// Tag Any covers both intra-group traffic (tag 0) and
 				// arrivals from the global hop (tag 1).
 				if s == D {
-					r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
-						OutPort: portTo(g, s, dst), NewTag: -1})
+					emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+						OutPort: csr.PortTo(s, dst), NewTag: -1})
 				} else {
-					r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
-						OutPort: portTo(g, s, D), NewTag: -1})
+					emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+						OutPort: csr.PortTo(s, D), NewTag: -1})
 				}
 				continue
 			}
 			gw, _, ok := df.gateway(gs, gd)
 			if !ok {
-				return nil, fmt.Errorf("routing: no global link %d->%d", gs, gd)
+				return fmt.Errorf("routing: no global link %d->%d", gs, gd)
 			}
 			if s == gw {
 				// Cross the global link, switching to VC 1.
 				peer := df.globalPeer(s, gd)
-				r.add(Rule{Switch: s, Dst: dst, Tag: 0,
-					OutPort: portTo(g, s, peer), NewTag: 1})
+				emit(Rule{Switch: s, Dst: dst, Tag: 0,
+					OutPort: csr.PortTo(s, peer), NewTag: 1})
 			} else {
-				r.add(Rule{Switch: s, Dst: dst, Tag: 0,
-					OutPort: portTo(g, s, gw), NewTag: -1})
+				emit(Rule{Switch: s, Dst: dst, Tag: 0,
+					OutPort: csr.PortTo(s, gw), NewTag: -1})
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortRules(r)
 	return r, nil
@@ -241,20 +251,49 @@ func (t TorusClue) Compute(g *topology.Graph) (*Routes, error) {
 // order (torus). Switch coordinates must be dims-long grid positions.
 func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Routes, error) {
 	size := make([]int, dims)
-	byCoord := map[string]int{}
-	ck := func(c []int) string {
-		return fmt.Sprint(c[:dims])
-	}
 	for _, s := range g.Switches() {
 		c := g.Vertices[s].Coord
 		if len(c) < dims {
 			return nil, fmt.Errorf("routing: %s: switch %d lacks %dD coords", g.Name, s, dims)
 		}
-		byCoord[ck(c)] = s
 		for d := 0; d < dims; d++ {
 			if c[d]+1 > size[d] {
 				size[d] = c[d] + 1
 			}
+		}
+	}
+	// Dense integer coordinate index (replaces a per-lookup fmt.Sprint
+	// string key): lin(c) = (c[0]*size[1] + c[1])*size[2] + c[2].
+	lin := func(c []int) int {
+		k := 0
+		for d := 0; d < dims; d++ {
+			k = k*size[d] + c[d]
+		}
+		return k
+	}
+	span := 1
+	for d := 0; d < dims; d++ {
+		span *= size[d]
+	}
+	byCoord := make([]int32, span)
+	for i := range byCoord {
+		byCoord[i] = -1
+	}
+	for _, s := range g.Switches() {
+		byCoord[lin(g.Vertices[s].Coord)] = int32(s)
+	}
+	// Hoist the per-dimension port lists out of the destination loop:
+	// they depend only on (switch, dimension), and recomputing them per
+	// (destination, switch) was the torus strategies' dominant cost.
+	var dimPorts [][][]int
+	if torus {
+		dimPorts = make([][][]int, len(g.Vertices))
+		for _, s := range g.Switches() {
+			dp := make([][]int, dims)
+			for d := 0; d < dims; d++ {
+				dp[d] = dimensionPorts(g, s, d, dims)
+			}
+			dimPorts[s] = dp
 		}
 	}
 	vcs := 1
@@ -262,15 +301,16 @@ func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Rout
 		vcs = 2
 	}
 	r := newRoutes(g, name, vcs)
+	csr := g.CSR()
 
-	for _, dst := range g.Hosts() {
+	err := computePerDst(r, g, func(dst int, emit func(Rule)) error {
 		D := g.HostSwitch(dst)
 		dc := g.Vertices[D].Coord
 		for _, s := range g.Switches() {
 			sc := g.Vertices[s].Coord
 			if s == D {
-				r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
-					OutPort: portTo(g, s, dst), NewTag: -1})
+				emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+					OutPort: csr.PortTo(s, dst), NewTag: -1})
 				continue
 			}
 			// First differing dimension in X..Z order.
@@ -292,7 +332,9 @@ func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Rout
 			} else if dc[dim] < sc[dim] {
 				step = -1
 			}
-			nxtCoord := append([]int(nil), sc[:dims]...)
+			var coordBuf [3]int
+			nxtCoord := coordBuf[:dims]
+			copy(nxtCoord, sc[:dims])
 			nxtCoord[dim] = sc[dim] + step
 			wrap := false
 			if torus {
@@ -304,16 +346,19 @@ func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Rout
 					wrap = true
 				}
 			}
-			nxt, ok := byCoord[ck(nxtCoord)]
-			if !ok {
-				return nil, fmt.Errorf("routing: %s: no switch at %v", g.Name, nxtCoord)
+			nxt := int32(-1)
+			if nxtCoord[dim] >= 0 && nxtCoord[dim] < n {
+				nxt = byCoord[lin(nxtCoord)]
 			}
-			out := portTo(g, s, nxt)
+			if nxt < 0 {
+				return fmt.Errorf("routing: %s: no switch at %v", g.Name, nxtCoord)
+			}
+			out := csr.PortTo(s, int(nxt))
 			if out == 0 {
-				return nil, fmt.Errorf("routing: %s: missing link %v->%v", g.Name, sc, nxtCoord)
+				return fmt.Errorf("routing: %s: missing link %v->%v", g.Name, sc, nxtCoord)
 			}
 			if !torus {
-				r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
+				emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
 				continue
 			}
 			// Torus: the outgoing VC depends on whether the packet is
@@ -329,17 +374,20 @@ func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Rout
 			if wrap {
 				newTagCont = 1
 			}
-			samePorts := dimensionPorts(g, s, dim, dims)
 			// Continuation rules (specific in-ports, keep/flip tag).
-			for _, p := range samePorts {
-				r.add(Rule{Switch: s, InPort: p, Dst: dst, Tag: openflow.Any,
+			for _, p := range dimPorts[s][dim] {
+				emit(Rule{Switch: s, InPort: p, Dst: dst, Tag: openflow.Any,
 					OutPort: out, NewTag: newTagCont})
 			}
 			// Entry rule (any other ingress: host injection or a
 			// previous dimension): reset VC.
-			r.add(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
+			emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any,
 				OutPort: out, NewTag: newTagEnter})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortRules(r)
 	return r, nil

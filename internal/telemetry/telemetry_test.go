@@ -16,7 +16,7 @@ func lineNet(t *testing.T) (*netsim.Network, *topology.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestCollectorFeedsUGAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

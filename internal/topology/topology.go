@@ -13,6 +13,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Kind distinguishes switch vertices from host (compute node) vertices.
@@ -81,6 +82,7 @@ type Graph struct {
 	adjDirty  bool
 	switchIDs []int
 	hostIDs   []int
+	csr       atomic.Pointer[CSR]
 }
 
 // New returns an empty topology with the given name.
@@ -106,6 +108,7 @@ func (g *Graph) addVertex(k Kind, label string, coord []int) int {
 	g.Vertices = append(g.Vertices, Vertex{ID: id, Kind: k, Label: label, Coord: coord})
 	g.nextPort = append(g.nextPort, 1)
 	g.adjDirty = true
+	g.csr.Store(nil)
 	return id
 }
 
@@ -136,6 +139,7 @@ func (g *Graph) ConnectPorts(a, aPort, b, bPort int) int {
 		g.nextPort[b] = bPort + 1
 	}
 	g.adjDirty = true
+	g.csr.Store(nil)
 	return id
 }
 
@@ -177,6 +181,110 @@ func (g *Graph) Neighbors(v int) []int {
 		out = append(out, g.Edges[eid].Other(v))
 	}
 	return out
+}
+
+// CSR is a compressed-sparse-row adjacency view of a Graph: for vertex
+// v, the incident half-edges occupy positions Start[v]..Start[v+1]-1 of
+// the parallel Nbr/Port/Edge arrays, pre-sorted by neighbour vertex ID
+// (ties broken by edge ID, so parallel edges stay deterministic). The
+// route-computation hot paths iterate it instead of Graph.Neighbors,
+// which clones (and would have to re-sort) the neighbour slice on every
+// call.
+//
+// A CSR is immutable once built; Graph.CSR memoizes it and any graph
+// mutation invalidates the cache.
+type CSR struct {
+	Start []int32 // len(Vertices)+1 row offsets
+	Nbr   []int32 // neighbour vertex IDs, ascending within each row
+	Port  []int32 // port number at the row vertex for this half-edge
+	Edge  []int32 // logical edge ID of this half-edge
+}
+
+// Row returns the half-edge index range [lo, hi) for vertex v.
+func (c *CSR) Row(v int) (lo, hi int32) { return c.Start[v], c.Start[v+1] }
+
+// PortTo returns the port on `from` leading to neighbour `to`, or 0 if
+// they are not adjacent — the O(log deg) equivalent of scanning
+// IncidentEdges. With multiple parallel edges the lowest edge ID wins.
+func (c *CSR) PortTo(from, to int) int {
+	lo, hi := c.Start[from], c.Start[from+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Nbr[mid] < int32(to) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.Start[from+1] && c.Nbr[lo] == int32(to) {
+		return int(c.Port[lo])
+	}
+	return 0
+}
+
+// CSR returns the memoized compressed-sparse-row view, building it on
+// first use. The cache is an atomic pointer, so concurrent readers that
+// race on the first build each construct an identical view without a
+// data race (one of them wins the cache slot); mutating the graph while
+// CSR is called concurrently is a caller error, as with every other
+// lazy accessor.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	n := len(g.Vertices)
+	c := &CSR{Start: make([]int32, n+1)}
+	deg := make([]int32, n)
+	for _, e := range g.Edges {
+		deg[e.A]++
+		if e.B != e.A {
+			deg[e.B]++
+		}
+	}
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		c.Start[v] = total
+		total += deg[v]
+	}
+	c.Start[n] = total
+	c.Nbr = make([]int32, total)
+	c.Port = make([]int32, total)
+	c.Edge = make([]int32, total)
+	fill := append([]int32(nil), c.Start[:n]...)
+	put := func(at, other, port, eid int) {
+		i := fill[at]
+		fill[at]++
+		c.Nbr[i], c.Port[i], c.Edge[i] = int32(other), int32(port), int32(eid)
+	}
+	for _, e := range g.Edges {
+		put(e.A, e.B, e.APort, e.ID)
+		if e.B != e.A {
+			put(e.B, e.A, e.BPort, e.ID)
+		}
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := c.Start[v], c.Start[v+1]
+		row := struct{ nbr, port, edge []int32 }{c.Nbr[lo:hi], c.Port[lo:hi], c.Edge[lo:hi]}
+		sort.Sort(csrRow(row))
+	}
+	g.csr.Store(c)
+	return c
+}
+
+// csrRow sorts one CSR row's parallel slices by (neighbour, edge ID).
+type csrRow struct{ nbr, port, edge []int32 }
+
+func (r csrRow) Len() int { return len(r.nbr) }
+func (r csrRow) Less(i, j int) bool {
+	if r.nbr[i] != r.nbr[j] {
+		return r.nbr[i] < r.nbr[j]
+	}
+	return r.edge[i] < r.edge[j]
+}
+func (r csrRow) Swap(i, j int) {
+	r.nbr[i], r.nbr[j] = r.nbr[j], r.nbr[i]
+	r.port[i], r.port[j] = r.port[j], r.port[i]
+	r.edge[i], r.edge[j] = r.edge[j], r.edge[i]
 }
 
 // Degree returns the number of edges incident to v.

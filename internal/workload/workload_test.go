@@ -101,7 +101,7 @@ func replay(t *testing.T, tr *Trace) netsim.Time {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := netsim.NewNetwork(g, netsim.RouteForwarder{Routes: routes}, netsim.DefaultConfig(), nil, false)
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,6 +86,11 @@ type (
 	Routes = routing.Routes
 	// Strategy computes Routes for a topology.
 	Strategy = routing.Strategy
+	// FIB is a compiled forwarding table: Routes flattened into dense
+	// per-switch arrays so the per-hop decision is one array load.
+	// Obtain one with Routes.Compile (or the memoized Routes.FIB); the
+	// packet engine's forwarders run on it automatically.
+	FIB = routing.FIB
 )
 
 // Routing constructors and helpers.
