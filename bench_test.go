@@ -29,7 +29,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFig11(b *testing.B) {
 	var max float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11(10)
+		res, err := experiments.Fig11(b.Context(), 10, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +46,7 @@ func BenchmarkFig12(b *testing.B) {
 	b.ReportAllocs()
 	var agg float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig12(core.SDT, true, 200*netsim.Millisecond)
+		res, err := experiments.Fig12(b.Context(), core.SDT, true, 200*netsim.Millisecond)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func BenchmarkFig12(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	var cover int
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(30)
+		res, err := experiments.Table2(b.Context(), 30, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	var dev float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table4(8, []string{"HPCG", "IMB"})
+		res, err := experiments.Table4(b.Context(), 8, []string{"HPCG", "IMB"}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func BenchmarkFig13(b *testing.B) {
 	b.ReportAllocs()
 	var simFactor float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig13([]int{2, 8, 16}, 64*1024, 4)
+		res, err := experiments.Fig13(b.Context(), []int{2, 8, 16}, 64*1024, 4, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +131,7 @@ func BenchmarkIsolation(b *testing.B) {
 func BenchmarkActiveRouting(b *testing.B) {
 	var red float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ActiveRouting(8, 128*1024)
+		res, err := experiments.ActiveRouting(b.Context(), 8, 128*1024)
 		if err != nil {
 			b.Fatal(err)
 		}

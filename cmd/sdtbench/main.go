@@ -1,5 +1,9 @@
 // Command sdtbench regenerates the paper's tables and figures
-// (EXPERIMENTS.md records the outputs).
+// (EXPERIMENTS.md records the outputs). The experiments come from the
+// scenario registry (internal/experiments Register/Lookup), so the CLI
+// is a thin shell: flags become experiments.Params, names resolve
+// through the registry, and Ctrl-C cancels in-flight simulations
+// mid-run via context cancellation threaded into the engine loop.
 //
 // Usage:
 //
@@ -21,12 +25,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -51,7 +59,8 @@ type benchReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig11|fig12|table2|table3|table4|fig13|isolation|active|tables|all")
+	names := experiments.Names()
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(names, "|")+"|all")
 	ranks := flag.Int("ranks", 16, "MPI ranks for table4")
 	reps := flag.Int("reps", 8, "repetitions (fig11 pingpongs / fig13 alltoall rounds)")
 	bytes := flag.Int("bytes", 256*1024, "message bytes for fig13 / active routing")
@@ -61,99 +70,31 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
 	flag.Parse()
 
-	run := map[string]func(w io.Writer) error{
-		"table1": func(w io.Writer) error {
-			experiments.Table1().Format(w)
-			return nil
-		},
-		"fig11": func(w io.Writer) error {
-			r, err := experiments.Fig11Par(*reps*5, *parallel)
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"fig12": func(w io.Writer) error {
-			dur := netsim.Time(*durMs) * netsim.Millisecond
-			rs, err := experiments.Fig12Panels(dur, *parallel)
-			if err != nil {
-				return err
-			}
-			for _, r := range rs {
-				r.Format(w)
-			}
-			return nil
-		},
-		"table2": func(w io.Writer) error {
-			r, err := experiments.Table2Par(*zoo, *parallel)
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"table3": func(w io.Writer) error {
-			r, err := experiments.Table3()
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"table4": func(w io.Writer) error {
-			r, err := experiments.Table4Par(*ranks, nil, *parallel)
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"fig13": func(w io.Writer) error {
-			r, err := experiments.Fig13Par(nil, *bytes, *reps, *parallel)
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"isolation": func(w io.Writer) error {
-			r, err := experiments.Isolation()
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"active": func(w io.Writer) error {
-			r, err := experiments.ActiveRouting(8, *bytes)
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
-		"tables": func(w io.Writer) error {
-			r, err := experiments.FlowTableUsage()
-			if err != nil {
-				return err
-			}
-			r.Format(w)
-			return nil
-		},
+	params := experiments.Params{
+		Ranks:    *ranks,
+		Reps:     *reps,
+		Bytes:    *bytes,
+		Zoo:      *zoo,
+		Duration: netsim.Time(*durMs) * netsim.Millisecond,
+		Workers:  *parallel,
 	}
 
-	order := []string{"table1", "fig11", "fig12", "table2", "table3", "table4", "fig13", "isolation", "active", "tables"}
-	var selected []string
+	var selected []experiments.Entry
 	if *exp == "all" {
-		selected = order
+		selected = experiments.All()
 	} else {
-		if _, ok := run[*exp]; !ok {
+		e, ok := experiments.Lookup(*exp)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
-		selected = []string{*exp}
+		selected = []experiments.Entry{e}
 	}
+
+	// Ctrl-C cancels the in-flight simulation mid-run (the engine polls
+	// the stop flag every StopStride events), not just between runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *jsonOut {
 		report := benchReport{
@@ -162,10 +103,10 @@ func main() {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Parallel:   *parallel,
 		}
-		for _, name := range selected {
-			res, err := measure(name, run[name])
+		for _, e := range selected {
+			res, err := measure(ctx, e, params)
 			if err != nil {
-				fatal(name, err)
+				fatal(e.Name, err)
 			}
 			report.Results = append(report.Results, res)
 		}
@@ -177,9 +118,9 @@ func main() {
 		return
 	}
 
-	for _, name := range selected {
-		if err := run[name](os.Stdout); err != nil {
-			fatal(name, err)
+	for _, e := range selected {
+		if err := e.Run(ctx, params, os.Stdout); err != nil {
+			fatal(e.Name, err)
 		}
 	}
 }
@@ -188,17 +129,17 @@ func main() {
 // returns its wall-clock and allocation figures. Allocation counts are
 // process-wide deltas (runtime.MemStats), so run experiments serially
 // — as this loop does — for attributable numbers.
-func measure(name string, fn func(w io.Writer) error) (expResult, error) {
+func measure(ctx context.Context, e experiments.Entry, p experiments.Params) (expResult, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if err := fn(io.Discard); err != nil {
+	if err := e.Run(ctx, p, io.Discard); err != nil {
 		return expResult{}, err
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return expResult{
-		Experiment: name,
+		Experiment: e.Name,
 		WallMs:     float64(wall.Microseconds()) / 1000,
 		Allocs:     after.Mallocs - before.Mallocs,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
@@ -206,6 +147,10 @@ func measure(name string, fn func(w io.Writer) error) (expResult, error) {
 }
 
 func fatal(name string, err error) {
+	code := 1
+	if errors.Is(err, context.Canceled) {
+		code = 130 // interrupted
+	}
 	fmt.Fprintf(os.Stderr, "sdtbench: %s: %v\n", name, err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -2,96 +2,86 @@
 // a Dragonfly(4,9,2) with minimal routing, let the Network Monitor
 // measure link loads, switch to UGAL active routing, and show the ACT
 // improvement — the controller's Routing Strategy + Network Monitor
-// modules working together.
+// modules working together, driven through the composable Run API with
+// telemetry attached as a run observer (no manual Arm/Collect wiring).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	sdt "repro"
 	"repro/internal/controller"
-	"repro/internal/netsim"
 	"repro/internal/routing"
-	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 func main() {
-	g := topology.Dragonfly(4, 9, 2, 1)
+	ctx := context.Background()
+	g := sdt.Dragonfly(4, 9, 2, 1)
 	fmt.Printf("topology: %v\n", g)
+
+	tb, err := sdt.PaperTestbed([]*sdt.Topology{g})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Adversarial placement: all ranks in the first two groups, so
 	// minimal routing funnels everything over one global link.
 	const nodes = 8
-	hosts := g.Hosts()[:nodes]
-	tr := workload.Alltoall(nodes, 256*1024, 4)
+	scenario := sdt.Scenario{
+		Topo:  g,
+		Trace: sdt.AlltoallTrace(nodes, 256*1024, 4),
+		Mode:  sdt.ModeSimulator,
+		Hosts: g.Hosts()[:nodes],
+	}
 
-	run := func(name string, routes *routing.Routes) netsim.Time {
-		net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), netsim.DefaultConfig(), nil, false)
+	// The run observer captures the finished fabric for the Network
+	// Monitor; a telemetry collector samples link loads every 200 us of
+	// simulated time *during* the run.
+	var lastNet *sdt.Network
+	capture := sdt.RunHooks{Finish: func(_ *sdt.RunResult, net *sdt.Network) { lastNet = net }}
+
+	run := func(name string, routes *sdt.Routes, col *sdt.TelemetryCollector) sdt.SimTime {
+		opts := []sdt.Option{sdt.WithStrategy(sdt.FixedRoutes{Routes: routes}), sdt.WithObserver(capture)}
+		if col != nil {
+			opts = append(opts, sdt.WithTelemetry(col))
+		}
+		res, err := sdt.Run(ctx, tb, scenario, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		app := netsim.NewApp(net, hosts, tr.Programs, nil)
-		app.Start()
-		net.Sim.Run(0)
-		act := app.ACT()
 		fmt.Printf("%-28s ACT %8.3f ms  (drops %d, pauses %d)\n",
-			name, float64(act)/float64(netsim.Millisecond), net.TotalDrops, net.PausesSent)
-		// Feed the monitor for the next round.
-		lastNet = net
-		return act
+			name, float64(res.ACT)/float64(sdt.Millisecond), res.Drops, res.Pauses)
+		return res.ACT
 	}
 
 	minimal, err := routing.DragonflyMinimal{}.Compute(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	actMin := run("minimal routing", minimal)
+	col := sdt.NewTelemetryCollector(g, 200*sdt.Microsecond, 0)
+	actMin := run("minimal routing", minimal, col)
 
+	fmt.Printf("\ntelemetry (sampled %d epochs during the run): hottest logical links:\n", col.Epochs())
+	for _, s := range col.Hottest(5) {
+		fmt.Printf("  %s <-> %s: peak %d B/epoch, EWMA %.0f B/epoch\n", s.A, s.B, s.Peak, s.EWMA)
+	}
+
+	// Feed the Network Monitor from the finished fabric and derive UGAL
+	// active routes.
 	mon := controller.NewMonitor()
 	mon.CollectSim(lastNet)
-	fmt.Println("\nNetwork Monitor: most loaded logical links after the minimal run:")
-	fmt.Print(indent(mon.TopLoaded(g, 5)))
-
 	active, err := mon.ActiveRouting(g, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := routing.VerifyDeadlockFree(active); err != nil {
+	if err := sdt.VerifyDeadlockFree(active); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nactive routing verified deadlock-free (CDG acyclic); rerunning:")
-	actUGAL := run("active (UGAL) routing", active)
+	actUGAL := run("active (UGAL) routing", active, nil)
 
 	fmt.Printf("\nACT reduction from active routing: %.1f%% (paper: active routing reduces the ACT of IMB Alltoall)\n",
 		100*float64(actMin-actUGAL)/float64(actMin))
-}
-
-var lastNet *netsim.Network
-
-func indent(s string) string {
-	out := ""
-	for _, line := range splitLines(s) {
-		if line != "" {
-			out += "  " + line + "\n"
-		}
-	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var out []string
-	cur := ""
-	for _, r := range s {
-		if r == '\n' {
-			out = append(out, cur)
-			cur = ""
-		} else {
-			cur += string(r)
-		}
-	}
-	if cur != "" {
-		out = append(out, cur)
-	}
-	return out
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,10 +16,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dur := 800 * netsim.Millisecond
 	for _, pfc := range []bool{true, false} {
 		for _, mode := range []core.Mode{core.SDT, core.FullTestbed} {
-			res, err := experiments.Fig12(mode, pfc, dur)
+			res, err := experiments.Fig12(ctx, mode, pfc, dur)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,12 +1,15 @@
 // Quickstart: build a fat-tree, project it onto three commodity
 // switches with SDT Link Projection, run an IMB Pingpong on both the
 // full testbed and the SDT projection, and compare — the core workflow
-// of the paper in ~60 lines against the public facade.
+// of the paper in ~60 lines against the public facade, driven through
+// the composable Run(ctx, testbed, scenario, ...Option) surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	sdt "repro"
 )
@@ -26,13 +29,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Run the same pingpong three ways.
+	// 3. Run the same pingpong three ways through the composable Run
+	//    API: one Scenario, the mode varied per run. The context
+	//    cancels mid-simulation (here it just carries a generous
+	//    wall-clock deadline).
+	ctx := context.Background()
 	hosts := topo.Hosts()
-	trace := sdt.PingpongTrace(4096, 100)
-	pair := []int{hosts[0], hosts[len(hosts)-1]}
+	scenario := sdt.Scenario{
+		Topo:  topo,
+		Trace: sdt.PingpongTrace(4096, 100),
+		Hosts: []int{hosts[0], hosts[len(hosts)-1]},
+	}
 
 	for _, mode := range []sdt.Mode{sdt.ModeFullTestbed, sdt.ModeSDT, sdt.ModeSimulator} {
-		res, err := tb.RunTrace(topo, trace, pair, mode)
+		scenario.Mode = mode
+		res, err := sdt.Run(ctx, tb, scenario, sdt.WithDeadline(time.Now().Add(time.Minute)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,10 +3,68 @@
 package sdt_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	sdt "repro"
 )
+
+// TestFacadeRunAndSweep drives the composable execution surface — Run
+// with a Scenario plus options, and a Sweep over jobs — exactly as a
+// downstream caller would.
+func TestFacadeRunAndSweep(t *testing.T) {
+	topo := sdt.FatTree(4)
+	tb, err := sdt.PaperTestbed([]*sdt.Topology{topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sdt.NewTelemetryCollector(topo, 100*sdt.Microsecond, 0)
+	var finished *sdt.RunResult
+	res, err := sdt.Run(t.Context(), tb, sdt.Scenario{
+		Topo:  topo,
+		Trace: sdt.AlltoallTrace(4, 32<<10, 2),
+		Mode:  sdt.ModeSDT,
+	},
+		sdt.WithTelemetry(col),
+		sdt.WithObserver(sdt.RunHooks{
+			Finish: func(r *sdt.RunResult, _ *sdt.Network) { finished = r },
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ACT <= 0 {
+		t.Fatalf("ACT = %v", res.ACT)
+	}
+	if finished != res {
+		t.Error("Finish hook did not receive the run result")
+	}
+	if col.Epochs() == 0 {
+		t.Error("telemetry observer took no samples")
+	}
+
+	jobs := []sdt.Job{
+		{TB: tb, Scenario: sdt.Scenario{Topo: topo, Trace: sdt.AlltoallTrace(4, 16<<10, 2), Mode: sdt.ModeFullTestbed}},
+		{TB: tb, Scenario: sdt.Scenario{Topo: topo, Trace: sdt.AlltoallTrace(4, 16<<10, 2), Mode: sdt.ModeSDT}},
+	}
+	results, err := sdt.Sweep(t.Context(), jobs, sdt.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ACT <= 0 || results[1].ACT <= 0 {
+		t.Fatalf("sweep results: %+v", results)
+	}
+	if results[1].ACT <= results[0].ACT {
+		t.Errorf("SDT ACT %v <= full-testbed ACT %v; projection overhead missing", results[1].ACT, results[0].ACT)
+	}
+
+	// A cancelled context surfaces as ctx.Err().
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	if _, err := sdt.Run(ctx, tb, jobs[0].Scenario); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Run: err = %v, want context.Canceled", err)
+	}
+}
 
 func TestFacadeEndToEnd(t *testing.T) {
 	ft := sdt.FatTree(4)

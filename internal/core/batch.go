@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/par"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -42,45 +44,16 @@ func (tb *Testbed) EnsureDeployed(g *topology.Graph) error {
 	return err
 }
 
-// RunBatch executes independent trace jobs one simulation per worker —
-// the batch runner exported through the sdt facade for custom sweeps
-// (the built-in figure/table sweeps use ParallelFor directly, with
-// experiment-specific result shaping). Results are returned in job
-// order.
+// RunBatch executes independent trace jobs one simulation per worker.
+// Results are returned in job order.
 //
-// The controller is not concurrency-safe, so SDT deployments (and the
-// lazy topology adjacency caches) are primed serially up front; the
-// simulations themselves share only read-only state. Note that under
-// workers > 1 the Wall/Eval fields of Simulator-mode results measure
-// contended wall clock — use workers == 1 when reproducing Fig. 13's
-// absolute evaluation times.
+// Deprecated: RunBatch is the pre-context batch API. Use Sweep, which
+// adds context cancellation threaded into the engine loop; RunBatch
+// remains as a thin wrapper and produces identical results.
 func (tb *Testbed) RunBatch(jobs []TraceJob, workers int) ([]*RunResult, error) {
-	seen := map[*topology.Graph]bool{}
-	for _, j := range jobs {
-		if !seen[j.Topo] {
-			seen[j.Topo] = true
-			if err := j.Topo.Validate(); err != nil {
-				return nil, err
-			}
-			j.Topo.Hosts() // build the lazy adjacency/kind caches
-		}
-		if j.Mode == SDT {
-			if err := tb.EnsureDeployed(j.Topo); err != nil {
-				return nil, err
-			}
-		}
+	sweep := make([]Job, len(jobs))
+	for i, j := range jobs {
+		sweep[i] = Job{TB: tb, Scenario: Scenario{Topo: j.Topo, Trace: j.Trace, Hosts: j.Hosts, Mode: j.Mode}}
 	}
-	out := make([]*RunResult, len(jobs))
-	err := ParallelFor(workers, len(jobs), func(i int) error {
-		res, err := tb.RunTrace(jobs[i].Topo, jobs[i].Trace, jobs[i].Hosts, jobs[i].Mode)
-		if err != nil {
-			return err
-		}
-		out[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return Sweep(context.Background(), sweep, WithWorkers(workers))
 }

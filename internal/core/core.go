@@ -16,7 +16,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"repro/internal/controller"
@@ -99,6 +99,12 @@ type RunResult struct {
 // returning the network plus the SDT deployment when applicable. The
 // caller drives traffic and runs the simulation.
 func (tb *Testbed) Network(g *topology.Graph, strat routing.Strategy, mode Mode) (*netsim.Network, *controller.Deployment, error) {
+	return tb.network(g, strat, mode, tb.Cfg)
+}
+
+// network is Network with an explicit fabric configuration — the
+// WithSimConfig override path, which must not mutate tb.Cfg.
+func (tb *Testbed) network(g *topology.Graph, strat routing.Strategy, mode Mode, cfg netsim.Config) (*netsim.Network, *controller.Deployment, error) {
 	if strat == nil {
 		strat = routing.ForTopology(g)
 	}
@@ -127,7 +133,7 @@ func (tb *Testbed) Network(g *topology.Graph, strat routing.Strategy, mode Mode)
 	// exist before the fabric starts forwarding. (No-op for SDT: Deploy
 	// already primed.)
 	routes.Prime()
-	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), tb.Cfg, crossbarOf, sdtExtra)
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), cfg, crossbarOf, sdtExtra)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -149,53 +155,21 @@ func (tb *Testbed) ensureDeployment(g *topology.Graph, strat routing.Strategy) (
 // The trace's ranks are placed on the first len hosts (or the given
 // subset), mirroring the paper's "randomly select the nodes but keep
 // the same among all the evaluations".
+//
+// Deprecated: RunTrace is the positional, pre-context API. Use Run
+// with a Scenario (and options) instead; RunTrace remains as a thin
+// wrapper and produces identical results.
 func (tb *Testbed) RunTrace(g *topology.Graph, tr *workload.Trace, hosts []int, mode Mode) (*RunResult, error) {
-	if hosts == nil {
-		all := g.Hosts()
-		if len(all) < tr.Ranks {
-			return nil, fmt.Errorf("core: topology %q has %d hosts, trace needs %d", g.Name, len(all), tr.Ranks)
-		}
-		hosts = pickSpread(all, tr.Ranks)
-	}
-	net, dep, err := tb.Network(g, nil, mode)
-	if err != nil {
-		return nil, err
-	}
-	app := netsim.NewApp(net, hosts, tr.Programs, nil)
-	wallStart := time.Now()
-	app.Start()
-	net.Sim.Run(0)
-	wall := time.Since(wallStart)
-	act := app.ACT()
-	if act < 0 {
-		return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d",
-			tr.Name, g.Name, mode, net.TotalDrops)
-	}
-	res := &RunResult{
-		Mode: mode, ACT: act, Wall: wall,
-		Drops: net.TotalDrops, Pauses: net.PausesSent, EcnMarks: net.EcnMarks,
-		Events: net.Sim.Events(),
-	}
-	switch mode {
-	case FullTestbed:
-		res.Eval = time.Duration(int64(act) / 1000) // ps -> ns
-	case SDT:
-		if dep != nil {
-			res.Deploy = dep.DeployTime
-		}
-		res.Eval = time.Duration(int64(act)/1000) + res.Deploy
-	case Simulator:
-		res.Eval = wall
-	}
-	return res, nil
+	return Run(context.Background(), tb, Scenario{Topo: g, Trace: tr, Hosts: hosts, Mode: mode})
 }
 
 // pickSpread deterministically selects n hosts spread across the list
 // ("randomly select the nodes but keep the same among all the
-// evaluations", §VI-D).
+// evaluations", §VI-D). Asking for at least as many hosts as exist
+// returns the whole list.
 func pickSpread(all []int, n int) []int {
 	if n >= len(all) {
-		return all[:n]
+		return all
 	}
 	out := make([]int, 0, n)
 	step := float64(len(all)) / float64(n)

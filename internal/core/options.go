@@ -1,0 +1,128 @@
+package core
+
+// Functional options for Run and Sweep. A Scenario carries the
+// experiment description (what to run, where, in which mode); options
+// carry the per-invocation knobs — host placement overrides, routing
+// strategy, sim-config overrides, observers, telemetry, deadlines, and
+// sweep parallelism — so every caller (figure sweeps, CLIs, examples,
+// downstream users) shares one composable execution surface.
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scenario is one complete workload description: which topology, which
+// trace, which evaluation platform, and optionally which hosts,
+// routing strategy, and fabric configuration. The zero values of the
+// optional fields mean "the testbed's defaults": a deterministic host
+// spread, the topology's Table III strategy, and the testbed's
+// SimConfig.
+type Scenario struct {
+	Topo  *topology.Graph
+	Trace *workload.Trace
+	Mode  Mode
+	// Hosts places the trace's ranks (nil = deterministic spread over
+	// the topology's hosts, the paper's "randomly select the nodes but
+	// keep the same among all the evaluations").
+	Hosts []int
+	// Strategy computes the routes (nil = routing.ForTopology).
+	Strategy routing.Strategy
+	// SimConfig overrides the testbed's fabric configuration for this
+	// run only (nil = use Testbed.Cfg).
+	SimConfig *netsim.Config
+}
+
+// Hooks observes one run's lifecycle. Any field may be nil. Tick fires
+// every Period of simulated time while the workload is still running
+// (Period <= 0 defaults to 1 ms); the final tick after the last rank
+// finishes is delivered and then the ticker disarms so the event queue
+// can drain.
+type Hooks struct {
+	// Start runs after the network is built, before traffic starts.
+	Start func(net *netsim.Network, sc Scenario)
+	// Tick runs periodically inside the simulation.
+	Tick func(now netsim.Time, net *netsim.Network)
+	// Period is the simulated-time interval between Tick calls.
+	Period netsim.Time
+	// Finish runs after a completed (not cancelled) simulation.
+	Finish func(res *RunResult, net *netsim.Network)
+}
+
+// Option configures one Run or Sweep invocation.
+type Option func(*runConfig)
+
+// runConfig is the resolved option set.
+type runConfig struct {
+	hosts       []int
+	strategy    routing.Strategy
+	simCfg      *netsim.Config
+	observers   []Hooks
+	deadline    time.Time
+	hasDeadline bool
+	workers     int
+}
+
+// newRunConfig applies opts over the defaults (serial sweep, no
+// overrides, no observers).
+func newRunConfig(opts []Option) *runConfig {
+	cfg := &runConfig{workers: 1}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+// WithHosts overrides the scenario's rank placement.
+func WithHosts(hosts []int) Option {
+	return func(c *runConfig) { c.hosts = hosts }
+}
+
+// WithStrategy overrides the scenario's routing strategy.
+func WithStrategy(s routing.Strategy) Option {
+	return func(c *runConfig) { c.strategy = s }
+}
+
+// WithSimConfig overrides the fabric configuration for the run(s)
+// without mutating the testbed's default.
+func WithSimConfig(cfg netsim.Config) Option {
+	return func(c *runConfig) { c.simCfg = &cfg }
+}
+
+// WithObserver attaches lifecycle hooks to every run of the
+// invocation. Observers compose: each WithObserver adds another set.
+func WithObserver(h Hooks) Option {
+	return func(c *runConfig) { c.observers = append(c.observers, h) }
+}
+
+// WithTelemetry attaches a telemetry collector as a run observer: the
+// collector samples the network's link counters every collector period
+// of simulated time while the workload runs — replacing the manual
+// Arm/Collect wiring. A collector is safe to share across the runs of
+// a Sweep (it keeps per-network counter baselines and is
+// mutex-guarded); its series are then a sweep-wide aggregate.
+func WithTelemetry(col *telemetry.Collector) Option {
+	return WithObserver(Hooks{
+		Period: col.Period,
+		Tick:   func(_ netsim.Time, net *netsim.Network) { col.Collect(net) },
+		Finish: func(_ *RunResult, net *netsim.Network) { col.Detach(net) },
+	})
+}
+
+// WithDeadline bounds the invocation in wall-clock time: past t the
+// run is cancelled exactly as if the caller's context had expired
+// (Run returns context.DeadlineExceeded).
+func WithDeadline(t time.Time) Option {
+	return func(c *runConfig) { c.deadline, c.hasDeadline = t, true }
+}
+
+// WithWorkers sets Sweep's fan-out: one simulation per worker.
+// 0 means all cores, 1 (the default) runs serially. Run ignores it.
+func WithWorkers(n int) Option {
+	return func(c *runConfig) { c.workers = n }
+}

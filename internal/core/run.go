@@ -1,0 +1,263 @@
+package core
+
+// Run and Sweep: the context-aware execution surface. Run executes one
+// Scenario on a Testbed; Sweep executes a batch of (Testbed, Scenario)
+// jobs one simulation per worker. Both thread cancellation into the
+// engine's event loop — a cancelled context stops a simulation within
+// one engine.StopStride of events, not merely between jobs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Run executes one scenario on the testbed. The context cancels
+// cooperatively: the engine's run loop polls a stop flag every
+// engine.StopStride events, so cancellation lands mid-simulation and
+// Run returns ctx.Err(). Options override the corresponding scenario
+// fields.
+func Run(ctx context.Context, tb *Testbed, sc Scenario, opts ...Option) (*RunResult, error) {
+	return runScenario(ctx, tb, sc, newRunConfig(opts))
+}
+
+// Job is one Sweep entry: a scenario bound to the testbed that runs
+// it. Jobs in one sweep may target different testbeds (e.g. Table IV
+// sizes a testbed per topology).
+type Job struct {
+	TB *Testbed
+	Scenario
+}
+
+// Sweep executes independent jobs one simulation per worker
+// (WithWorkers) and returns results in job order. It subsumes
+// RunBatch: SDT deployments and the lazy topology caches are primed
+// serially up front (deploying mutates the controller; a live
+// deployment is read-only), after which the simulations share only
+// read-only state. Cancelling the context stops in-flight simulations
+// mid-run and prevents new jobs from starting; Sweep then returns
+// ctx.Err(). As with RunBatch, Simulator-mode Wall/Eval columns
+// measure contended wall clock when workers > 1.
+func Sweep(ctx context.Context, jobs []Job, opts ...Option) ([]*RunResult, error) {
+	cfg := newRunConfig(opts)
+	seen := map[*topology.Graph]bool{}
+	for _, j := range jobs {
+		if j.TB == nil {
+			return nil, errors.New("core: sweep job without a testbed")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !seen[j.Topo] {
+			seen[j.Topo] = true
+			if j.Topo == nil {
+				return nil, errors.New("core: sweep job without a topology")
+			}
+			if err := j.Topo.Validate(); err != nil {
+				return nil, err
+			}
+			j.Topo.Hosts() // build the lazy adjacency/kind caches
+		}
+		if j.Mode == SDT {
+			strat := j.Strategy
+			if cfg.strategy != nil {
+				strat = cfg.strategy
+			}
+			if _, err := j.TB.ensureDeployment(j.Topo, strat); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]*RunResult, len(jobs))
+	err := ForEach(ctx, cfg.workers, len(jobs), func(i int) error {
+		res, err := runScenario(ctx, jobs[i].TB, jobs[i].Scenario, cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is ParallelFor with cooperative cancellation: once ctx ends
+// no further job starts, and the context's error is returned. Jobs
+// already running are responsible for observing ctx themselves (Run
+// does, via the engine stop flag).
+func ForEach(ctx context.Context, workers, n int, job func(i int) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return ParallelFor(workers, n, job)
+	}
+	return ParallelFor(workers, n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return job(i)
+	})
+}
+
+// WatchCancel arms cooperative cancellation of a simulation on ctx:
+// the engine's run loop stops within engine.StopStride events of the
+// context ending. The returned release func detaches the watcher and
+// must be called once the run returns (typically via defer). Callers
+// driving netsim directly (rather than through Run) use this to get
+// the same mid-simulation cancellation.
+func WatchCancel(ctx context.Context, sim *netsim.Sim) (release func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	var flag atomic.Bool
+	sim.SetStop(&flag, 0)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		sim.SetStop(nil, 0)
+	}
+}
+
+// runScenario is the one execution path under Run, Sweep, and the
+// deprecated RunTrace/RunBatch wrappers.
+func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) (*RunResult, error) {
+	// Options override scenario fields.
+	if cfg.hosts != nil {
+		sc.Hosts = cfg.hosts
+	}
+	if cfg.strategy != nil {
+		sc.Strategy = cfg.strategy
+	}
+	if cfg.simCfg != nil {
+		sc.SimConfig = cfg.simCfg
+	}
+	if cfg.hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cfg.deadline)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, tr := sc.Topo, sc.Trace
+	if g == nil || tr == nil {
+		return nil, errors.New("core: scenario needs a Topo and a Trace")
+	}
+	hosts := sc.Hosts
+	if hosts == nil {
+		all := g.Hosts()
+		if len(all) < tr.Ranks {
+			return nil, fmt.Errorf("core: topology %q has %d hosts, trace needs %d", g.Name, len(all), tr.Ranks)
+		}
+		hosts = pickSpread(all, tr.Ranks)
+	}
+	simCfg := tb.Cfg
+	if sc.SimConfig != nil {
+		simCfg = *sc.SimConfig
+	}
+	net, dep, err := tb.network(g, sc.Strategy, sc.Mode, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	app := netsim.NewApp(net, hosts, tr.Programs, nil)
+	for _, h := range cfg.observers {
+		if h.Start != nil {
+			h.Start(net, sc)
+		}
+	}
+	armTicks(net, app, cfg.observers)
+	release := WatchCancel(ctx, net.Sim)
+	wallStart := time.Now()
+	app.Start()
+	net.Sim.Run(0)
+	release()
+	wall := time.Since(wallStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	act := app.ACT()
+	if act < 0 {
+		return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d",
+			tr.Name, g.Name, sc.Mode, net.TotalDrops)
+	}
+	res := &RunResult{
+		Mode: sc.Mode, ACT: act, Wall: wall,
+		Drops: net.TotalDrops, Pauses: net.PausesSent, EcnMarks: net.EcnMarks,
+		Events: net.Sim.Events(),
+	}
+	switch sc.Mode {
+	case FullTestbed:
+		res.Eval = time.Duration(int64(act) / 1000) // ps -> ns
+	case SDT:
+		if dep != nil {
+			res.Deploy = dep.DeployTime
+		}
+		res.Eval = time.Duration(int64(act)/1000) + res.Deploy
+	case Simulator:
+		res.Eval = wall
+	}
+	for _, h := range cfg.observers {
+		if h.Finish != nil {
+			h.Finish(res, net)
+		}
+	}
+	return res, nil
+}
+
+// armTicks schedules each observer's periodic Tick inside the
+// simulation. A tick chain re-arms itself only while the workload is
+// incomplete AND the event queue holds something beyond the other
+// chains' next ticks: once the last rank finishes — or the fabric goes
+// quiescent with the workload stuck (drops with nothing left to
+// retransmit) — the chains disarm, the queue drains, and Run(0)
+// returns, so observers never mask the did-not-complete error with an
+// infinite self-rescheduling timer.
+func armTicks(net *netsim.Network, app *netsim.App, observers []Hooks) {
+	type ticker struct {
+		fn     func(now netsim.Time, net *netsim.Network)
+		period netsim.Time
+	}
+	var tickers []ticker
+	for _, h := range observers {
+		if h.Tick == nil {
+			continue
+		}
+		period := h.Period
+		if period <= 0 {
+			period = netsim.Millisecond
+		}
+		tickers = append(tickers, ticker{fn: h.Tick, period: period})
+	}
+	// active counts still-armed chains. While a chain executes, every
+	// other live chain has exactly one pending tick event, so
+	// Pending() < active means the ticks are the only future — the
+	// simulation is done or wedged either way.
+	active := len(tickers)
+	for _, tk := range tickers {
+		tk := tk
+		var arm func(at netsim.Time)
+		arm = func(at netsim.Time) {
+			net.Sim.At(at, func() {
+				tk.fn(at, net)
+				if app.ACT() >= 0 || net.Sim.Pending() < active {
+					active--
+					return
+				}
+				arm(at + tk.period)
+			})
+		}
+		arm(tk.period)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 )
 
@@ -216,5 +217,84 @@ func BenchmarkCancel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		hd := e.ScheduleAfter(1000, h, Event{})
 		e.Cancel(hd)
+	}
+}
+
+// selfArming reschedules itself forever — the adversarial workload for
+// cancellation: without a stop flag, Run(0) would never return.
+type selfArming struct {
+	e     *Engine
+	flag  *atomic.Bool
+	raise int64 // raise the flag after this many fired events
+}
+
+func (s *selfArming) OnEvent(now Time, ev Event) {
+	if s.raise > 0 && s.e.Events() == s.raise {
+		s.flag.Store(true)
+	}
+	s.e.Schedule(now+1, s, Event{})
+}
+
+// TestRunStopsWithinStride pins the cancellation contract: once the
+// stop flag is raised, Run fires at most one stride of further events
+// before returning.
+func TestRunStopsWithinStride(t *testing.T) {
+	const stride = 64
+	e := New()
+	var flag atomic.Bool
+	h := &selfArming{e: e, flag: &flag, raise: 10}
+	e.SetStop(&flag, stride)
+	e.Schedule(0, h, Event{})
+	e.Run(0)
+	if !e.Stopped() {
+		t.Fatal("engine does not report a stopped run")
+	}
+	fired := e.Events() - h.raise
+	if fired > stride {
+		t.Errorf("fired %d events after the flag was raised, want <= %d", fired, stride)
+	}
+	if e.Pending() == 0 {
+		t.Error("queue drained; the workload should be infinite")
+	}
+}
+
+// TestRunPresetStopFiresNothing: a flag already raised stops Run
+// before the first event.
+func TestRunPresetStopFiresNothing(t *testing.T) {
+	e := New()
+	var flag atomic.Bool
+	flag.Store(true)
+	h := &selfArming{e: e, flag: &flag}
+	e.SetStop(&flag, 0)
+	e.Schedule(0, h, Event{})
+	e.Run(0)
+	if e.Events() != 0 {
+		t.Errorf("fired %d events with a pre-raised stop flag", e.Events())
+	}
+	if !e.Stopped() {
+		t.Error("engine does not report a stopped run")
+	}
+}
+
+// TestRunAfterStopDetached: detaching the flag (SetStop(nil, 0))
+// restores plain Run semantics.
+func TestRunAfterStopDetached(t *testing.T) {
+	e := New()
+	var flag atomic.Bool
+	flag.Store(true)
+	e.SetStop(&flag, 1)
+	r := &recorder{}
+	e.Schedule(5, r, Event{A: 1})
+	e.Run(0)
+	if len(r.got) != 0 {
+		t.Fatal("event fired under a raised flag")
+	}
+	e.SetStop(nil, 0)
+	e.Run(0)
+	if len(r.got) != 1 {
+		t.Fatalf("got %d events after detaching the stop flag, want 1", len(r.got))
+	}
+	if e.Stopped() {
+		t.Error("Stopped still true after a drained run")
 	}
 }

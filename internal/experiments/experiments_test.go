@@ -10,7 +10,7 @@ import (
 )
 
 func TestFig11ShapeMatchesPaper(t *testing.T) {
-	res, err := Fig11(10)
+	res, err := Fig11(t.Context(), 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestFig11ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig12PFCOnFairnessByHops(t *testing.T) {
-	res, err := Fig12(core.FullTestbed, true, 400*netsim.Millisecond)
+	res, err := Fig12(t.Context(), core.FullTestbed, true, 400*netsim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +69,11 @@ func TestFig12PFCOnFairnessByHops(t *testing.T) {
 }
 
 func TestFig12SDTMatchesFullTestbed(t *testing.T) {
-	full, err := Fig12(core.FullTestbed, true, 300*netsim.Millisecond)
+	full, err := Fig12(t.Context(), core.FullTestbed, true, 300*netsim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sdt, err := Fig12(core.SDT, true, 300*netsim.Millisecond)
+	sdt, err := Fig12(t.Context(), core.SDT, true, 300*netsim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestFig12SDTMatchesFullTestbed(t *testing.T) {
 }
 
 func TestFig12PFCOffHasDrops(t *testing.T) {
-	res, err := Fig12(core.FullTestbed, false, 300*netsim.Millisecond)
+	res, err := Fig12(t.Context(), core.FullTestbed, false, 300*netsim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFig12PFCOffHasDrops(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(40)
+	res, err := Table2(t.Context(), 40, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestTable3AllDeadlockFree(t *testing.T) {
 }
 
 func TestTable4SmallScale(t *testing.T) {
-	res, err := Table4(8, []string{"HPCG", "IMB"})
+	res, err := Table4(t.Context(), 8, []string{"HPCG", "IMB"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestTable4SmallScale(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
-	res, err := Fig13([]int{2, 8, 16}, 64*1024, 4)
+	res, err := Fig13(t.Context(), []int{2, 8, 16}, 64*1024, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestIsolation(t *testing.T) {
 }
 
 func TestActiveRoutingReducesACT(t *testing.T) {
-	res, err := ActiveRouting(8, 256*1024)
+	res, err := ActiveRouting(t.Context(), 8, 256*1024)
 	if err != nil {
 		t.Fatal(err)
 	}

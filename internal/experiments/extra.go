@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/controller"
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/netsim"
 	"repro/internal/openflow"
@@ -13,6 +15,41 @@ import (
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+func init() {
+	Register(0, "table1", "Table I: qualitative comparison of network evaluation tools",
+		func(_ context.Context, _ Params, w io.Writer) error {
+			Table1().Format(w)
+			return nil
+		})
+	Register(70, "isolation", "§VI-B: hardware isolation between co-hosted topologies",
+		func(_ context.Context, _ Params, w io.Writer) error {
+			r, err := Isolation()
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+	Register(80, "active", "§VI-E: UGAL active routing vs minimal routing on Dragonfly",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := ActiveRouting(ctx, 8, p.Bytes)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+	Register(90, "tables", "§VII-C: flow-table occupancy, merged vs naive encoding",
+		func(_ context.Context, _ Params, w io.Writer) error {
+			r, err := FlowTableUsage()
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
 
 // Table1Result wraps the qualitative rubric of Table I.
 type Table1Result struct{ Rows []costmodel.ToolRow }
@@ -129,7 +166,7 @@ type ActiveRoutingResult struct {
 // ActiveRouting runs an alltoall over nodes concentrated in a few
 // Dragonfly groups (stressing few global links), first with minimal
 // routing, then with UGAL fed by the Network Monitor's measured loads.
-func ActiveRouting(nodes, bytes int) (*ActiveRoutingResult, error) {
+func ActiveRouting(ctx context.Context, nodes, bytes int) (*ActiveRoutingResult, error) {
 	if nodes <= 0 {
 		nodes = 8
 	}
@@ -155,8 +192,13 @@ func ActiveRouting(nodes, bytes int) (*ActiveRoutingResult, error) {
 			return 0, nil, err
 		}
 		app := netsim.NewApp(net, hosts, tr.Programs, nil)
+		release := core.WatchCancel(ctx, net.Sim)
 		app.Start()
 		net.Sim.Run(0)
+		release()
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		if app.ACT() < 0 {
 			return 0, nil, fmt.Errorf("activerouting: run did not complete (drops=%d)", net.TotalDrops)
 		}

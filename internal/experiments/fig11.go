@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,20 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/routing"
 )
+
+func init() {
+	// sdtbench historically scales its -reps flag by 5 for the pingpong
+	// count; the registered runner preserves that mapping.
+	Register(10, "fig11", "Fig. 11: SDT latency overhead across IMB Pingpong message lengths",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := Fig11(ctx, p.Reps*5, p.Workers)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
 
 // Fig11Point is one message length of the latency-overhead sweep.
 type Fig11Point struct {
@@ -36,12 +51,10 @@ func Fig11MsgLens() []int {
 
 // Fig11 runs the latency comparison with `reps` round trips per
 // message length (the paper uses 10k; 50 is enough for a deterministic
-// simulator).
-func Fig11(reps int) (*Fig11Result, error) { return Fig11Par(reps, 1) }
-
-// Fig11Par is Fig11 with the message-length sweep fanned out one
-// simulation per worker (results are identical at any worker count).
-func Fig11Par(reps, workers int) (*Fig11Result, error) {
+// simulator), the message-length sweep fanned out one simulation per
+// worker (results are identical at any worker count; 1 = serial).
+// Cancelling the context stops in-flight pingpong runs mid-simulation.
+func Fig11(ctx context.Context, reps, workers int) (*Fig11Result, error) {
 	if reps <= 0 {
 		reps = 50
 	}
@@ -54,18 +67,26 @@ func Fig11Par(reps, workers int) (*Fig11Result, error) {
 	a, b := hosts[0], hosts[7]
 	lens := Fig11MsgLens()
 	points := make([]Fig11Point, len(lens))
-	err = core.ParallelFor(workers, len(lens), func(i int) error {
+	err = core.ForEach(ctx, workers, len(lens), func(i int) error {
 		bytes := lens[i]
-		fn, err := full()
+		measure := func(mk func() (*netsim.Network, error)) (netsim.Time, error) {
+			n, err := mk()
+			if err != nil {
+				return 0, err
+			}
+			release := core.WatchCancel(ctx, n.Sim)
+			rtt := netsim.MeanRTT(netsim.MeasurePingpong(n, a, b, bytes, reps))
+			release()
+			return rtt, ctx.Err()
+		}
+		fullRTT, err := measure(full)
 		if err != nil {
 			return err
 		}
-		fullRTT := netsim.MeanRTT(netsim.MeasurePingpong(fn, a, b, bytes, reps))
-		sn, err := sdt()
+		sdtRTT, err := measure(sdt)
 		if err != nil {
 			return err
 		}
-		sdtRTT := netsim.MeanRTT(netsim.MeasurePingpong(sn, a, b, bytes, reps))
 		points[i] = Fig11Point{
 			Bytes: bytes, FullRTT: fullRTT, SDTRTT: sdtRTT,
 			Overhead: float64(sdtRTT-fullRTT) / float64(fullRTT),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -9,6 +10,20 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/routing"
 )
+
+func init() {
+	Register(20, "fig12", "Fig. 12: incast bandwidth, PFC on/off x SDT/full testbed",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			rs, err := Fig12Panels(ctx, p.Duration, p.Workers)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
+				r.Format(w)
+			}
+			return nil
+		})
+}
 
 // Fig12Flow is one sender's bandwidth series in the incast test.
 type Fig12Flow struct {
@@ -29,11 +44,47 @@ type Fig12Result struct {
 	Drops         int64
 }
 
+// fig12Panels is the panel order of cmd/sdtbench's fig12 output.
+func fig12Panels() []struct {
+	Mode core.Mode
+	PFC  bool
+} {
+	return []struct {
+		Mode core.Mode
+		PFC  bool
+	}{
+		{core.SDT, true}, {core.FullTestbed, true},
+		{core.SDT, false}, {core.FullTestbed, false},
+	}
+}
+
+// Fig12Panels runs the four incast panels (PFC on/off x SDT/full
+// testbed), one per worker, in the order sdtbench prints them
+// (results are identical at any worker count).
+func Fig12Panels(ctx context.Context, duration netsim.Time, workers int) ([]*Fig12Result, error) {
+	panels := fig12Panels()
+	out := make([]*Fig12Result, len(panels))
+	err := core.ForEach(ctx, workers, len(panels), func(i int) error {
+		r, err := Fig12(ctx, panels[i].Mode, panels[i].PFC, duration)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Fig12 runs the iperf3 incast of §VI-B2: every node sends TCP traffic
 // to node 4 on the Fig. 10 chain, with PFC on or off, on the full
 // testbed or SDT. duration is simulated time (the paper plots an ~8 s
-// window; 1–2 s gives the same steady state).
-func Fig12(mode core.Mode, pfc bool, duration netsim.Time) (*Fig12Result, error) {
+// window; 1–2 s gives the same steady state). Fig12 drives the fabric
+// directly (fixed-duration TCP, not a replayable trace), so it arms
+// engine-loop cancellation itself via core.WatchCancel.
+func Fig12(ctx context.Context, mode core.Mode, pfc bool, duration netsim.Time) (*Fig12Result, error) {
 	if duration <= 0 {
 		duration = 1 * netsim.Second
 	}
@@ -94,7 +145,12 @@ func Fig12(mode core.Mode, pfc bool, duration netsim.Time) (*Fig12Result, error)
 			final[node] = c.RcvBytes
 		}
 	})
+	release := core.WatchCancel(ctx, net.Sim)
 	net.Sim.Run(duration + interval)
+	release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &Fig12Result{Mode: mode, PFC: pfc, Drops: net.TotalDrops}
 	routes, _ := routing.ShortestPath{}.Compute(g)

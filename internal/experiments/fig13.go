@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -10,6 +11,18 @@ import (
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+func init() {
+	Register(60, "fig13", "Fig. 13: evaluation-time scaling, full testbed vs simulator vs SDT",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := Fig13(ctx, nil, p.Bytes, p.Reps, p.Workers)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
 
 // Fig13Point is one node count of the evaluation-time scaling study.
 type Fig13Point struct {
@@ -35,16 +48,13 @@ type Fig13Result struct {
 
 // Fig13 sweeps node counts (paper: 1–32; node counts below 2 exchange
 // no traffic, so the sweep starts at 2). bytes/reps scale the alltoall;
-// zero means Table IV scale.
-func Fig13(nodeCounts []int, bytes, reps int) (*Fig13Result, error) {
-	return Fig13Par(nodeCounts, bytes, reps, 1)
-}
-
-// Fig13Par is Fig13 with one node count per worker. Simulated results
-// (ACTs, deploy-derived evaluation times) are identical at any worker
-// count; the simulator's wall-clock column measures contended time
-// when workers > 1, so use workers == 1 for absolute Fig. 13 numbers.
-func Fig13Par(nodeCounts []int, bytes, reps, workers int) (*Fig13Result, error) {
+// zero means Table IV scale. The three mode runs of every node count
+// are jobs of one core.Sweep (one simulation per worker; each point
+// owns its testbed so SDT deployments never contend). Simulated
+// results are identical at any worker count; the simulator's
+// wall-clock column measures contended time when workers > 1, so use
+// workers == 1 for absolute Fig. 13 numbers.
+func Fig13(ctx context.Context, nodeCounts []int, bytes, reps, workers int) (*Fig13Result, error) {
 	if nodeCounts == nil {
 		nodeCounts = []int{2, 4, 8, 16, 32}
 	}
@@ -55,38 +65,34 @@ func Fig13Par(nodeCounts []int, bytes, reps, workers int) (*Fig13Result, error) 
 		reps = 8
 	}
 	g := topology.Dragonfly(4, 9, 2, 1)
-	g.Hosts() // prime the lazy adjacency caches before the fan-out
-	points := make([]Fig13Point, len(nodeCounts))
-	err := core.ParallelFor(workers, len(nodeCounts), func(i int) error {
-		n := nodeCounts[i]
+	modes := []core.Mode{core.FullTestbed, core.SDT, core.Simulator}
+	var jobs []core.Job
+	for _, n := range nodeCounts {
 		tr := workload.Alltoall(n, bytes, reps)
 		tb, err := core.PaperTestbed([]*topology.Graph{g})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		hosts := g.Hosts()[:n]
-		full, err := tb.RunTrace(g, tr, hosts, core.FullTestbed)
-		if err != nil {
-			return err
+		for _, mode := range modes {
+			jobs = append(jobs, core.Job{TB: tb, Scenario: core.Scenario{
+				Topo: g, Trace: tr, Hosts: hosts, Mode: mode,
+			}})
 		}
-		sdt, err := tb.RunTrace(g, tr, hosts, core.SDT)
-		if err != nil {
-			return err
-		}
-		sim, err := tb.RunTrace(g, tr, hosts, core.Simulator)
-		if err != nil {
-			return err
-		}
+	}
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Fig13Point, len(nodeCounts))
+	for i, n := range nodeCounts {
+		full, sdt, sim := results[3*i], results[3*i+1], results[3*i+2]
 		points[i] = Fig13Point{
 			Nodes: n, RealACT: full.ACT,
 			FullEval: full.Eval, SDTEval: sdt.Eval, SimEval: sim.Eval,
 			SDTFactor: float64(sdt.Eval) / float64(full.Eval),
 			SimFactor: float64(sim.Eval) / float64(full.Eval),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return &Fig13Result{Points: points}, nil
 }

@@ -6,14 +6,15 @@ import (
 	"repro/internal/netsim"
 )
 
-// TestFig11ParMatchesSerial is the load-bearing determinism check for
-// the sweep fan-out: simulated RTTs must not depend on worker count.
-func TestFig11ParMatchesSerial(t *testing.T) {
-	serial, err := Fig11Par(5, 1)
+// TestFig11ParallelMatchesSerial is the load-bearing determinism check
+// for the sweep fan-out: simulated RTTs must not depend on worker
+// count.
+func TestFig11ParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig11(t.Context(), 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig11Par(5, 4)
+	par, err := Fig11(t.Context(), 5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,13 +32,13 @@ func TestFig11ParMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestFig12PanelsParMatchesSerial(t *testing.T) {
+func TestFig12PanelsParallelMatchesSerial(t *testing.T) {
 	dur := 50 * netsim.Millisecond
-	serial, err := Fig12Panels(dur, 1)
+	serial, err := Fig12Panels(t.Context(), dur, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig12Panels(dur, 4)
+	par, err := Fig12Panels(t.Context(), dur, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +51,13 @@ func TestFig12PanelsParMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestTable4ParMatchesSerial(t *testing.T) {
+func TestTable4ParallelMatchesSerial(t *testing.T) {
 	apps := []string{"IMB"}
-	serial, err := Table4Par(6, apps, 1)
+	serial, err := Table4(t.Context(), 6, apps, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Table4Par(6, apps, 4)
+	par, err := Table4(t.Context(), 6, apps, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,13 +74,13 @@ func TestTable4ParMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestFig13ParMatchesSerial(t *testing.T) {
+func TestFig13ParallelMatchesSerial(t *testing.T) {
 	counts := []int{2, 4}
-	serial, err := Fig13Par(counts, 32*1024, 2, 1)
+	serial, err := Fig13(t.Context(), counts, 32*1024, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig13Par(counts, 32*1024, 2, 2)
+	par, err := Fig13(t.Context(), counts, 32*1024, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,12 +94,12 @@ func TestFig13ParMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestTable2ParMatchesSerial(t *testing.T) {
-	serial, err := Table2Par(12, 1)
+func TestTable2ParallelMatchesSerial(t *testing.T) {
+	serial, err := Table2(t.Context(), 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Table2Par(12, 4)
+	par, err := Table2(t.Context(), 12, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+// The scenario registry: every figure/table registers itself here as a
+// named scenario set, so CLIs (cmd/sdtbench), benchmarks, and
+// downstream callers drive the paper's whole evaluation through one
+// lookup instead of hand-wired per-figure plumbing. Registration
+// happens in each experiment file's init; All returns entries in the
+// paper's presentation order.
+
+import (
+	"context"
+	"io"
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// Params carries the CLI-level knobs a registered scenario set
+// understands. Zero values mean each experiment's default; every
+// experiment reads only the fields that apply to it (mirroring the
+// sdtbench flags).
+type Params struct {
+	// Ranks is the MPI rank count (table4).
+	Ranks int
+	// Reps is the repetition count (fig11 pingpongs, fig13 rounds).
+	Reps int
+	// Bytes is the message size (fig13, active routing).
+	Bytes int
+	// Zoo limits the Topology-Zoo subset (table2; 0 = all 261).
+	Zoo int
+	// Duration is the simulated measurement window (fig12).
+	Duration netsim.Time
+	// Workers fans sweep experiments out one simulation per worker
+	// (0 = all cores, 1 = serial).
+	Workers int
+}
+
+// Runner executes one registered scenario set, writing its formatted
+// table to w. Cancellation propagates into the engine loop of every
+// simulation the runner starts.
+type Runner func(ctx context.Context, p Params, w io.Writer) error
+
+// Entry is one registered scenario set.
+type Entry struct {
+	// Name is the lookup key (the sdtbench -exp value).
+	Name string
+	// Desc is a one-line description for CLI listings.
+	Desc string
+	// Run executes the scenario set.
+	Run Runner
+
+	order int
+}
+
+var registry []Entry
+
+// Register adds a scenario set under a presentation-order index.
+// Duplicate names panic: the registry is wired at init time and a
+// collision is a programming error.
+func Register(order int, name, desc string, run Runner) {
+	for _, e := range registry {
+		if e.Name == name {
+			panic("experiments: duplicate registration of " + name)
+		}
+	}
+	registry = append(registry, Entry{Name: name, Desc: desc, Run: run, order: order})
+}
+
+// Lookup finds a scenario set by name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// All returns every registered scenario set in presentation order.
+func All() []Entry {
+	out := append([]Entry(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out
+}
+
+// Names returns the registered names in presentation order.
+func Names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRegistryOrder pins the presentation order sdtbench prints for
+// -exp all.
+func TestRegistryOrder(t *testing.T) {
+	want := []string{"table1", "fig11", "fig12", "table2", "table3", "table4", "fig13", "isolation", "active", "tables"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	e, ok := Lookup("table3")
+	if !ok {
+		t.Fatal("table3 not registered")
+	}
+	if e.Desc == "" || e.Run == nil {
+		t.Fatalf("incomplete entry: %+v", e)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("lookup of unknown name succeeded")
+	}
+}
+
+// TestRegistryRunnerWritesTable runs the cheapest registered scenario
+// set end to end through the registry path.
+func TestRegistryRunnerWritesTable(t *testing.T) {
+	e, ok := Lookup("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(t.Context(), Params{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Errorf("output missing the table header:\n%s", buf.String())
+	}
+}
+
+// TestRegistryRunnerHonoursCancellation: a cancelled context aborts a
+// registered sweep with the context's error.
+func TestRegistryRunnerHonoursCancellation(t *testing.T) {
+	e, ok := Lookup("fig11")
+	if !ok {
+		t.Fatal("fig11 not registered")
+	}
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	var buf bytes.Buffer
+	err := e.Run(ctx, Params{Reps: 1, Workers: 1}, &buf)
+	if err == nil {
+		t.Fatal("cancelled registry run returned nil error")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -11,6 +12,18 @@ import (
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
+
+func init() {
+	Register(30, "table2", "Table II: SDT vs other topology-projection methods",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := Table2(ctx, p.Zoo, p.Workers)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
 
 // Table2Row compares one TP method across the paper's workload set:
 // the DC topologies (Fat-Tree k=4, Dragonfly(4,9,2), 4x4x4 Torus) and
@@ -36,10 +49,6 @@ type Table2Result struct {
 	ZooSize int
 }
 
-// Table2 runs the scalability/cost/convenience comparison. zooSubset
-// limits the zoo sweep for quick runs (0 = all 261).
-func Table2(zooSubset int) (*Table2Result, error) { return Table2Par(zooSubset, 1) }
-
 // table2Methods is the TP-method row order of Table II.
 func table2Methods() []projection.Method {
 	return []projection.Method{
@@ -47,10 +56,12 @@ func table2Methods() []projection.Method {
 	}
 }
 
-// Table2Par is Table2 with the Topology-Zoo projectability sweep (the
-// dominant cost: 261 WAN maps x 4 methods) fanned out one zoo graph
-// per worker. Coverage counts are identical at any worker count.
-func Table2Par(zooSubset, workers int) (*Table2Result, error) {
+// Table2 runs the scalability/cost/convenience comparison. zooSubset
+// limits the zoo sweep for quick runs (0 = all 261). The Topology-Zoo
+// projectability sweep (the dominant cost: 261 WAN maps x 4 methods)
+// fans out one zoo graph per worker; coverage counts are identical at
+// any worker count.
+func Table2(ctx context.Context, zooSubset, workers int) (*Table2Result, error) {
 	spec := projection.Commodity64("sw")
 	zoo := topology.Zoo(42)
 	if zooSubset > 0 && zooSubset < len(zoo) {
@@ -72,7 +83,7 @@ func Table2Par(zooSubset, workers int) (*Table2Result, error) {
 	methods := table2Methods()
 	coverage := make([]int, len(methods))
 	covered := make([][]bool, len(zoo))
-	err = core.ParallelFor(workers, len(zoo), func(i int) error {
+	err = core.ForEach(ctx, workers, len(zoo), func(i int) error {
 		row := make([]bool, len(methods))
 		for mi, m := range methods {
 			row[mi] = projection.Projectable(zoo[i], spec, m, 3)

@@ -1,12 +1,25 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
+
+func init() {
+	Register(40, "table3", "Table III: routing strategies with machine-checked deadlock freedom",
+		func(_ context.Context, _ Params, w io.Writer) error {
+			r, err := Table3()
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
 
 // Table3Row is one topology's routing strategy and deadlock-avoidance
 // scheme, verified live against the channel dependency graph.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -11,6 +12,18 @@ import (
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+func init() {
+	Register(50, "table4", "Table IV: application ACTs on SDT vs the simulator",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := Table4(ctx, p.Ranks, nil, p.Workers)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
 
 // Table4Cell is one (application, topology) evaluation: ACT on SDT vs
 // the simulator, the deviation, and the evaluation-time speedup — the
@@ -49,28 +62,27 @@ func table4Topologies() []*topology.Graph {
 
 // Table4 runs the application sweep with `ranks` MPI ranks per run
 // (the paper uses up to 32; smaller values preserve the comparison and
-// run much faster). apps of nil means all Table IV applications.
-func Table4(ranks int, apps []string) (*Table4Result, error) { return Table4Par(ranks, apps, 1) }
-
-// Table4Par is Table4 with one (application, topology) cell per
-// worker. Cells of one topology share a testbed whose SDT deployment
-// is primed serially up front (deploying mutates the controller;
-// afterwards it is read-only), so the deterministic columns (ACTs,
-// deviation, SDT evaluation time) are identical at any worker count.
-func Table4Par(ranks int, apps []string, workers int) (*Table4Result, error) {
+// run much faster). apps of nil means all Table IV applications. Every
+// (application, topology) cell contributes an SDT and a Simulator job
+// to one core.Sweep — one simulation per worker; the per-topology
+// testbeds' SDT deployments are primed serially by Sweep (deploying
+// mutates the controller; afterwards it is read-only) — so the
+// deterministic columns (ACTs, deviation, SDT evaluation time) are
+// identical at any worker count.
+func Table4(ctx context.Context, ranks int, apps []string, workers int) (*Table4Result, error) {
 	if ranks <= 0 {
 		ranks = 16
 	}
 	if apps == nil {
 		apps = workload.TableIVApps()
 	}
-	type cellJob struct {
+	type cell struct {
 		g   *topology.Graph
-		tb  *core.Testbed
 		app string
 		n   int
 	}
-	var jobs []cellJob
+	var cellsIn []cell
+	var jobs []core.Job
 	for _, g := range table4Topologies() {
 		n := ranks
 		if h := g.NumHosts(); n > h { // NumHosts also primes the lazy caches
@@ -80,41 +92,34 @@ func Table4Par(ranks int, apps []string, workers int) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := tb.EnsureDeployed(g); err != nil {
-			return nil, err
-		}
+		hosts := g.Hosts()[:n]
 		for _, app := range apps {
-			jobs = append(jobs, cellJob{g: g, tb: tb, app: app, n: n})
+			tr, err := workload.ByName(app, n)
+			if err != nil {
+				return nil, err
+			}
+			cellsIn = append(cellsIn, cell{g: g, app: app, n: n})
+			for _, mode := range []core.Mode{core.SDT, core.Simulator} {
+				jobs = append(jobs, core.Job{TB: tb, Scenario: core.Scenario{
+					Topo: g, Trace: tr, Hosts: hosts, Mode: mode,
+				}})
+			}
 		}
 	}
-	cells := make([]Table4Cell, len(jobs))
-	err := core.ParallelFor(workers, len(jobs), func(i int) error {
-		j := jobs[i]
-		tb := j.tb
-		tr, err := workload.ByName(j.app, j.n)
-		if err != nil {
-			return err
-		}
-		hosts := j.g.Hosts()[:j.n]
-		sdt, err := tb.RunTrace(j.g, tr, hosts, core.SDT)
-		if err != nil {
-			return fmt.Errorf("table4: %s on %s (SDT): %w", j.app, j.g.Name, err)
-		}
-		sim, err := tb.RunTrace(j.g, tr, hosts, core.Simulator)
-		if err != nil {
-			return fmt.Errorf("table4: %s on %s (sim): %w", j.app, j.g.Name, err)
-		}
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Table4Cell, len(cellsIn))
+	for i, c := range cellsIn {
+		sdt, sim := results[2*i], results[2*i+1]
 		dev := math.Abs(float64(sdt.ACT-sim.ACT)) / float64(sim.ACT)
 		cells[i] = Table4Cell{
-			App: j.app, Topology: j.g.Name, Ranks: j.n,
+			App: c.app, Topology: c.g.Name, Ranks: c.n,
 			ACTSDT: sdt.ACT, ACTSim: sim.ACT, Deviation: dev,
 			EvalSDT: sdt.Eval, EvalSim: sim.Eval,
 			Speedup: float64(sim.Eval) / float64(sdt.Eval),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	res := &Table4Result{Cells: cells}
 	for _, c := range cells {

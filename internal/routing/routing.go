@@ -50,6 +50,32 @@ type Strategy interface {
 	Compute(g *topology.Graph) (*Routes, error)
 }
 
+// Fixed adapts an already-computed route set into a Strategy — the
+// bridge that lets a run Scenario carry routes produced outside a
+// strategy, such as the Network Monitor's UGAL active routes.
+type Fixed struct{ Routes *Routes }
+
+// Name reports the wrapped route set's strategy name.
+func (f Fixed) Name() string {
+	if f.Routes == nil {
+		return "fixed"
+	}
+	return f.Routes.Strategy
+}
+
+// Compute returns the wrapped routes, rejecting a topology mismatch
+// (rules reference vertex IDs of the topology they were computed for).
+func (f Fixed) Compute(g *topology.Graph) (*Routes, error) {
+	if f.Routes == nil {
+		return nil, fmt.Errorf("routing: Fixed with nil Routes")
+	}
+	if f.Routes.Topo != g {
+		return nil, fmt.Errorf("routing: fixed routes were computed for topology %q, not %q",
+			f.Routes.Topo.Name, g.Name)
+	}
+	return f.Routes, nil
+}
+
 func newRoutes(g *topology.Graph, name string, vcs int) *Routes {
 	return &Routes{Topo: g, Strategy: name, NumVCs: vcs}
 }

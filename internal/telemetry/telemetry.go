@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/topology"
@@ -35,16 +36,25 @@ type LinkSeries struct {
 	EWMA float64 `json:"ewma"`
 }
 
-// Collector samples a simulation's link counters periodically.
+// Collector samples a simulation's link counters periodically. One
+// collector may observe several runs — even concurrent ones (a
+// parallel Sweep shares one via WithTelemetry): all methods are
+// mutex-guarded, and the cumulative-counter baseline is kept per
+// network, so interleaved samples from different simulations diff
+// against the right run's counters. A shared collector's series are
+// then a sweep-wide aggregate; sample order across concurrent runs is
+// scheduling-dependent, so read order-sensitive fields (EWMA) from
+// serial runs.
 type Collector struct {
 	Period netsim.Time
 	// Alpha is the EWMA smoothing factor in (0,1]; 1 = no smoothing.
 	Alpha float64
 
+	mu     sync.Mutex
 	topo   *topology.Graph
 	series map[int]*LinkSeries
 	epochs int
-	last   map[int]float64
+	last   map[*netsim.Network]map[int]float64
 }
 
 // NewCollector builds a collector for a topology with the given period
@@ -58,7 +68,7 @@ func NewCollector(g *topology.Graph, period netsim.Time, alpha float64) *Collect
 	}
 	return &Collector{
 		Period: period, Alpha: alpha,
-		topo: g, series: map[int]*LinkSeries{}, last: map[int]float64{},
+		topo: g, series: map[int]*LinkSeries{}, last: map[*netsim.Network]map[int]float64{},
 	}
 }
 
@@ -78,10 +88,17 @@ func (c *Collector) Arm(net *netsim.Network, until netsim.Time) {
 }
 
 // Collect takes one sample immediately (cumulative counters diffed
-// against the previous epoch).
+// against this network's previous epoch).
 func (c *Collector) Collect(net *netsim.Network) {
 	loads := net.LinkLoads()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.epochs++
+	last := c.last[net]
+	if last == nil {
+		last = map[int]float64{}
+		c.last[net] = last
+	}
 	for eid, cum := range loads {
 		s := c.series[eid]
 		if s == nil {
@@ -93,8 +110,8 @@ func (c *Collector) Collect(net *netsim.Network) {
 			}
 			c.series[eid] = s
 		}
-		delta := int64(cum - c.last[eid])
-		c.last[eid] = cum
+		delta := int64(cum - last[eid])
+		last[eid] = cum
 		s.Bytes = append(s.Bytes, delta)
 		if delta > s.Peak {
 			s.Peak = delta
@@ -103,12 +120,27 @@ func (c *Collector) Collect(net *netsim.Network) {
 	}
 }
 
+// Detach drops the per-network counter baseline once a run is over,
+// releasing the reference to the finished fabric (WithTelemetry calls
+// this from the run's Finish hook).
+func (c *Collector) Detach(net *netsim.Network) {
+	c.mu.Lock()
+	delete(c.last, net)
+	c.mu.Unlock()
+}
+
 // Epochs reports how many samples were taken.
-func (c *Collector) Epochs() int { return c.epochs }
+func (c *Collector) Epochs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs
+}
 
 // Rates returns the latest smoothed per-link load in bytes/second —
 // the map adaptive routing strategies consume.
 func (c *Collector) Rates() map[int]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[int]float64, len(c.series))
 	per := c.Period.Seconds()
 	for eid, s := range c.series {
@@ -117,8 +149,12 @@ func (c *Collector) Rates() map[int]float64 {
 	return out
 }
 
-// Series returns the recorded link series sorted by edge ID.
+// Series returns the recorded link series sorted by edge ID. The
+// returned values are the live series records; read them after the
+// runs feeding the collector have finished.
 func (c *Collector) Series() []*LinkSeries {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*LinkSeries, 0, len(c.series))
 	for _, s := range c.series {
 		out = append(out, s)
@@ -150,7 +186,7 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 	doc := export{
 		Topology: c.topo.Name,
 		PeriodNs: int64(c.Period / netsim.Nanosecond),
-		Epochs:   c.epochs,
+		Epochs:   c.Epochs(),
 		Links:    c.Series(),
 	}
 	enc := json.NewEncoder(w)

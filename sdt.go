@@ -8,15 +8,38 @@
 // topologies onto commodity OpenFlow switches via Link Projection,
 // computing Table III routing strategies with verified deadlock
 // freedom, and running workloads on the packet-level engine in full-
-// testbed, SDT, or simulator mode — serially, or one simulation per
-// core through Testbed.RunBatch / ParallelFor.
+// testbed, SDT, or simulator mode.
+//
+// Execution goes through one composable surface: a Scenario (topology,
+// trace, mode, and optional host placement / strategy / sim-config
+// overrides) run with Run(ctx, tb, scenario, ...Option), or fanned out
+// one simulation per worker with Sweep(ctx, jobs, ...Option). Options
+// attach the cross-cutting concerns — WithHosts, WithStrategy,
+// WithSimConfig, WithTelemetry, WithObserver, WithDeadline,
+// WithWorkers — and the context cancels cooperatively *inside* the
+// event loop: the engine polls a stop flag on an event-count stride,
+// so a cancelled run or sweep stops mid-simulation, not between jobs.
 //
 // Quickstart:
 //
 //	topo := sdt.FatTree(4)
 //	tb, err := sdt.PaperTestbed([]*sdt.Topology{topo})
 //	...
-//	res, err := tb.RunTrace(topo, sdt.AlltoallTrace(8, 64<<10, 4), nil, sdt.ModeSDT)
+//	res, err := sdt.Run(ctx, tb, sdt.Scenario{
+//		Topo:  topo,
+//		Trace: sdt.AlltoallTrace(8, 64<<10, 4),
+//		Mode:  sdt.ModeSDT,
+//	})
+//
+// and a batch, one simulation per core, telemetry sampled during each
+// run:
+//
+//	col := sdt.NewTelemetryCollector(topo, sdt.Millisecond, 0)
+//	results, err := sdt.Sweep(ctx, jobs, sdt.WithWorkers(0), sdt.WithTelemetry(col))
+//
+// The older positional entry points (Testbed.RunTrace,
+// Testbed.RunBatch) remain as deprecated thin wrappers over Run/Sweep
+// and produce identical results.
 //
 // The full implementation lives in the internal packages; see DESIGN.md
 // for the system inventory and EXPERIMENTS.md for the reproduced
@@ -30,6 +53,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/projection"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -93,6 +117,11 @@ type (
 	FIB = routing.FIB
 )
 
+// FixedRoutes adapts an already-computed route set into a Strategy,
+// so a Scenario can carry routes produced outside a strategy (e.g.
+// the Network Monitor's UGAL active routes).
+type FixedRoutes = routing.Fixed
+
 // Routing constructors and helpers.
 var (
 	StrategyFor        = routing.ForTopology
@@ -114,16 +143,52 @@ type Testbed = core.Testbed
 // RunResult reports one workload execution.
 type RunResult = core.RunResult
 
-// TraceJob is one independent workload execution for Testbed.RunBatch,
-// the worker-pool batch runner (one simulation per core).
+// Scenario is one complete workload description — topology, trace,
+// mode, and optional host placement / routing strategy / sim-config
+// overrides — the unit Run executes and Sweep batches.
+type Scenario = core.Scenario
+
+// Job is one Sweep entry: a Scenario bound to the Testbed running it.
+type Job = core.Job
+
+// Option is a functional option for Run and Sweep.
+type Option = core.Option
+
+// RunHooks observes a run's lifecycle (WithObserver): network built,
+// periodic in-simulation ticks, run finished.
+type RunHooks = core.Hooks
+
+// The composable execution surface: Run executes one Scenario, Sweep a
+// batch of jobs one simulation per worker. Both stop mid-simulation on
+// context cancellation. Options attach overrides and observers.
+var (
+	Run           = core.Run
+	Sweep         = core.Sweep
+	WithHosts     = core.WithHosts
+	WithStrategy  = core.WithStrategy
+	WithSimConfig = core.WithSimConfig
+	WithTelemetry = core.WithTelemetry
+	WithObserver  = core.WithObserver
+	WithDeadline  = core.WithDeadline
+	WithWorkers   = core.WithWorkers
+)
+
+// TraceJob is one independent workload execution for Testbed.RunBatch.
+//
+// Deprecated: build Job values for Sweep instead.
 type TraceJob = core.TraceJob
 
 // ParallelFor is the worker-pool helper behind the parallel experiment
 // sweeps: it runs independent jobs 0..n-1 across workers (0 = all
-// cores, 1 = serial) and returns the lowest-index job error.
+// cores, 1 = serial) and returns the lowest-index job error. For
+// cancellable fan-outs, pass a context to ForEach.
 func ParallelFor(workers, n int, job func(i int) error) error {
 	return core.ParallelFor(workers, n, job)
 }
+
+// ForEach is ParallelFor with cooperative cancellation: once ctx ends
+// no further job starts and the context's error is returned.
+var ForEach = core.ForEach
 
 // Mode selects the evaluation platform.
 type Mode = core.Mode
@@ -143,6 +208,19 @@ var (
 
 // SimConfig sets fabric and protocol parameters for the engine.
 type SimConfig = netsim.Config
+
+// Network is the packet-level fabric one run simulates; observers
+// (RunHooks, telemetry) receive it to read counters mid-run.
+type Network = netsim.Network
+
+// TelemetryCollector samples per-logical-link byte counters inside a
+// running simulation (§V-3 Network Monitor data plane). Attach one to
+// a run with WithTelemetry.
+type TelemetryCollector = telemetry.Collector
+
+// NewTelemetryCollector builds a collector for a topology with the
+// given sampling period (0 = 1 ms) and EWMA alpha (0 = 0.3).
+var NewTelemetryCollector = telemetry.NewCollector
 
 // SimTime is simulated (physical) time in picoseconds.
 type SimTime = netsim.Time
