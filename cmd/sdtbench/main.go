@@ -7,11 +7,17 @@
 //
 // Usage:
 //
+//	sdtbench -list
 //	sdtbench -exp all
 //	sdtbench -exp fig11 -parallel 0
 //	sdtbench -exp table4 -ranks 16
 //	sdtbench -exp fig13 -bytes 524288 -reps 8
+//	sdtbench -exp loadgen-sweep -seed 7 -parallel 0
 //	sdtbench -exp all -json > bench.json
+//
+// -list prints every registered scenario set with its one-line
+// description (the registry is the source of truth — see WORKLOADS.md
+// for the workload catalogue behind them).
 //
 // -parallel N runs sweep experiments one independent simulation per
 // worker (0 = all cores). Simulated results are identical at any
@@ -67,8 +73,19 @@ func main() {
 	zoo := flag.Int("zoo", 0, "zoo subset size for table2 (0 = all 261)")
 	durMs := flag.Int("dur", 1000, "fig12 window in simulated ms")
 	parallel := flag.Int("parallel", 1, "workers for sweep experiments (0 = all cores, 1 = serial)")
+	seed := flag.Int64("seed", 1, "loadgen schedule seed (equal seeds rerun byte-identical)")
+	flows := flag.Int("flows", 0, "loadgen flows per grid cell (0 = experiment default)")
+	load := flag.Float64("load", 0, "loadgen-incast victim load factor (0 = 0.8)")
 	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
+	list := flag.Bool("list", false, "list registered experiments with their descriptions and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
 
 	params := experiments.Params{
 		Ranks:    *ranks,
@@ -77,6 +94,9 @@ func main() {
 		Zoo:      *zoo,
 		Duration: netsim.Time(*durMs) * netsim.Millisecond,
 		Workers:  *parallel,
+		Seed:     *seed,
+		Flows:    *flows,
+		Load:     *load,
 	}
 
 	var selected []experiments.Entry

@@ -26,6 +26,13 @@ import (
 type Scenario struct {
 	Topo  *topology.Graph
 	Trace *workload.Trace
+	// Flows is the open-loop alternative to Trace: an absolute-time
+	// flow schedule (e.g. a loadgen.FlowSet's flows) driven through the
+	// netsim flow-application layer instead of rank programs. Flow
+	// Src/Dst are rank indices mapped onto Hosts exactly like trace
+	// ranks; per-flow completion results are written back into this
+	// slice. Exactly one of Trace and Flows must be set.
+	Flows []netsim.Flow
 	Mode  Mode
 	// Hosts places the trace's ranks (nil = deterministic spread over
 	// the topology's hosts, the paper's "randomly select the nodes but

@@ -130,6 +130,25 @@ func WatchCancel(ctx context.Context, sim *netsim.Sim) (release func()) {
 	}
 }
 
+// scenarioWorkload names a scenario's workload and derives its rank
+// count: the trace's declared Ranks, or one past the highest rank a
+// flow schedule references.
+func scenarioWorkload(sc Scenario) (name string, ranks int) {
+	if sc.Trace != nil {
+		return sc.Trace.Name, sc.Trace.Ranks
+	}
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		if f.Src >= ranks {
+			ranks = f.Src + 1
+		}
+		if f.Dst >= ranks {
+			ranks = f.Dst + 1
+		}
+	}
+	return fmt.Sprintf("flows[%d]", len(sc.Flows)), ranks
+}
+
 // runScenario is the one execution path under Run, Sweep, and the
 // deprecated RunTrace/RunBatch wrappers.
 func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) (*RunResult, error) {
@@ -152,16 +171,23 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 		return nil, err
 	}
 	g, tr := sc.Topo, sc.Trace
-	if g == nil || tr == nil {
-		return nil, errors.New("core: scenario needs a Topo and a Trace")
+	if g == nil || (tr == nil && sc.Flows == nil) {
+		return nil, errors.New("core: scenario needs a Topo and a Trace or Flows")
 	}
+	if tr != nil && sc.Flows != nil {
+		return nil, errors.New("core: scenario cannot carry both a Trace and Flows")
+	}
+	name, ranks := scenarioWorkload(sc)
 	hosts := sc.Hosts
 	if hosts == nil {
 		all := g.Hosts()
-		if len(all) < tr.Ranks {
-			return nil, fmt.Errorf("core: topology %q has %d hosts, trace needs %d", g.Name, len(all), tr.Ranks)
+		if len(all) < ranks {
+			return nil, fmt.Errorf("core: topology %q has %d hosts, workload needs %d", g.Name, len(all), ranks)
 		}
-		hosts = pickSpread(all, tr.Ranks)
+		hosts = pickSpread(all, ranks)
+	}
+	if len(hosts) < ranks {
+		return nil, fmt.Errorf("core: %d hosts for %d ranks", len(hosts), ranks)
 	}
 	simCfg := tb.Cfg
 	if sc.SimConfig != nil {
@@ -171,7 +197,15 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	if err != nil {
 		return nil, err
 	}
-	app := netsim.NewApp(net, hosts, tr.Programs, nil)
+	var app interface {
+		Start()
+		ACT() netsim.Time
+	}
+	if tr != nil {
+		app = netsim.NewApp(net, hosts, tr.Programs, nil)
+	} else {
+		app = netsim.NewFlowApp(net, hosts[:ranks], sc.Flows, nil)
+	}
 	for _, h := range cfg.observers {
 		if h.Start != nil {
 			h.Start(net, sc)
@@ -190,7 +224,7 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	act := app.ACT()
 	if act < 0 {
 		return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d",
-			tr.Name, g.Name, sc.Mode, net.TotalDrops)
+			name, g.Name, sc.Mode, net.TotalDrops)
 	}
 	res := &RunResult{
 		Mode: sc.Mode, ACT: act, Wall: wall,
@@ -224,7 +258,7 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 // retransmit) — the chains disarm, the queue drains, and Run(0)
 // returns, so observers never mask the did-not-complete error with an
 // infinite self-rescheduling timer.
-func armTicks(net *netsim.Network, app *netsim.App, observers []Hooks) {
+func armTicks(net *netsim.Network, app interface{ ACT() netsim.Time }, observers []Hooks) {
 	type ticker struct {
 		fn     func(now netsim.Time, net *netsim.Network)
 		period netsim.Time

@@ -33,6 +33,15 @@ type Params struct {
 	// Workers fans sweep experiments out one simulation per worker
 	// (0 = all cores, 1 = serial).
 	Workers int
+	// Seed drives the loadgen schedules (0 = 1). Equal seeds rerun
+	// byte-identical sweeps.
+	Seed int64
+	// Flows is the loadgen flow count per grid cell (0 = each
+	// experiment's default).
+	Flows int
+	// Load is the loadgen-incast victim load factor in (0, 1]
+	// (0 = 0.8).
+	Load float64
 }
 
 // Runner executes one registered scenario set, writing its formatted

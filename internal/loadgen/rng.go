@@ -1,0 +1,55 @@
+package loadgen
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64).
+// Every generator in this package draws from one of these, so a flow
+// schedule is a pure function of its Spec — including the seed — and is
+// byte-identical across runs, platforms, and Go versions (unlike
+// math/rand, whose stream is only fixed per Go release).
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. Equal seeds produce equal streams.
+func NewRNG(seed int64) *RNG { return &RNG{state: uint64(seed)} }
+
+// Uint64 returns the next 64 uniform bits (SplitMix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("loadgen: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponential variate with mean 1 (inter-arrival draws
+// divide by the rate).
+func (r *RNG) Exp() float64 {
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a uniform permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

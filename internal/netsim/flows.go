@@ -1,0 +1,167 @@
+package netsim
+
+// The flow application layer drives open-loop synthetic traffic:
+// individually timed flows injected at absolute simulation times,
+// independent of any completion (the datacenter-workload model, in
+// contrast to the closed-loop MPI trace replay of app.go). A FlowApp
+// never materialises per-op rank programs — one schedule entry per
+// flow — so million-flow runs cost O(flows) memory, and it records
+// per-flow completion times for FCT analysis.
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Flow is one open-loop transfer. Src and Dst are rank indices into
+// the FlowApp's host list (exactly like Op.Peer in trace replay). The
+// End/Completed fields are results, written in place by the FlowApp
+// that runs the schedule.
+type Flow struct {
+	Src, Dst int
+	Bytes    int
+	// Start is the absolute injection time.
+	Start Time
+	// Tag is the message tag carried on the wire; it must be unique
+	// per (Src, Dst) pair so concurrent flows cannot be confused at
+	// the receiver's mailbox. Generators use the flow index.
+	Tag int
+
+	// End is the completion time at the receiver (valid if Completed).
+	End Time
+	// Completed reports whether the flow finished delivery.
+	Completed bool
+}
+
+// FCT returns the flow completion time, or -1 if incomplete.
+func (f *Flow) FCT() Time {
+	if !f.Completed {
+		return -1
+	}
+	return f.End - f.Start
+}
+
+// FlowApp injects an open-loop flow schedule into a network and
+// records completions. It writes results into the caller's Flow slice,
+// so the schedule can be inspected (and bucketed into FCT statistics)
+// after the run.
+type FlowApp struct {
+	net    *Network
+	hosts  []int
+	flows  []Flow
+	order  []int32 // flow indices sorted by start time
+	next   int     // next entry of order to schedule
+	nDone  int
+	last   Time
+	onDone func(last Time)
+}
+
+// NewFlowApp binds a flow schedule to hosts. hosts[i] is the vertex of
+// rank i; every flow's Src/Dst must be a valid rank. The flows slice
+// is retained and its result fields are written during the run.
+func NewFlowApp(n *Network, hosts []int, flows []Flow, onDone func(last Time)) *FlowApp {
+	a := &FlowApp{net: n, hosts: hosts, flows: flows, onDone: onDone}
+	type matchKey struct{ src, dst, tag int }
+	seen := make(map[matchKey]struct{}, len(flows))
+	for i := range flows {
+		f := &flows[i]
+		if f.Src < 0 || f.Src >= len(hosts) || f.Dst < 0 || f.Dst >= len(hosts) {
+			panic("netsim: flow rank out of range")
+		}
+		if f.Src == f.Dst {
+			panic("netsim: flow sends to itself")
+		}
+		if n.Host(hosts[f.Src]) == nil || n.Host(hosts[f.Dst]) == nil {
+			panic("netsim: flow host vertex is not a host")
+		}
+		// The receiver's mailbox matches on (src, tag): a duplicate
+		// would silently swap the two flows' completion records.
+		k := matchKey{f.Src, f.Dst, f.Tag}
+		if _, dup := seen[k]; dup {
+			panic("netsim: duplicate flow (src, dst, tag)")
+		}
+		seen[k] = struct{}{}
+		f.End, f.Completed = 0, false
+	}
+	// Injection order is by start time; ties break by flow index so
+	// the schedule is deterministic regardless of input order.
+	a.order = make([]int32, len(flows))
+	for i := range a.order {
+		a.order[i] = int32(i)
+	}
+	sort.SliceStable(a.order, func(x, y int) bool {
+		return flows[a.order[x]].Start < flows[a.order[y]].Start
+	})
+	return a
+}
+
+// Start registers every flow's receive continuation and arms the first
+// injection. Only one injection event is pending at a time — the chain
+// schedules its successor — so the event heap stays O(1) in the flow
+// count.
+func (a *FlowApp) Start() {
+	for i := range a.flows {
+		i := i
+		f := &a.flows[i]
+		dst := a.net.Host(a.hosts[f.Dst])
+		dst.Recv(a.hosts[f.Src], f.Tag, func() { a.complete(i) })
+	}
+	a.armNext()
+}
+
+// armNext schedules the next pending injection (flows already due
+// inject in order at the current time).
+func (a *FlowApp) armNext() {
+	if a.next >= len(a.order) {
+		return
+	}
+	f := &a.flows[a.order[a.next]]
+	at := f.Start
+	if now := a.net.Sim.Now(); at < now {
+		at = now
+	}
+	a.net.Sim.Schedule(at, a, engine.Event{Kind: evFlowStart, A: int64(a.next)})
+}
+
+// OnEvent injects the due flow and chains to the next one.
+func (a *FlowApp) OnEvent(now Time, ev engine.Event) {
+	if ev.Kind != evFlowStart {
+		return
+	}
+	f := &a.flows[a.order[ev.A]]
+	a.net.Host(a.hosts[f.Src]).Send(a.hosts[f.Dst], f.Tag, f.Bytes)
+	a.next++
+	a.armNext()
+}
+
+// complete records one flow's delivery.
+func (a *FlowApp) complete(i int) {
+	f := &a.flows[i]
+	if f.Completed {
+		return
+	}
+	f.Completed = true
+	f.End = a.net.Sim.Now()
+	a.nDone++
+	if f.End > a.last {
+		a.last = f.End
+	}
+	if a.nDone == len(a.flows) && a.onDone != nil {
+		a.onDone(a.last)
+	}
+}
+
+// Completed reports how many flows have finished.
+func (a *FlowApp) Completed() int { return a.nDone }
+
+// ACT returns the time the last flow completed, or -1 while any flow
+// is outstanding — the same contract as App.ACT, so the run loop
+// treats trace replay and flow schedules uniformly. An empty schedule
+// is complete at time 0.
+func (a *FlowApp) ACT() Time {
+	if a.nDone < len(a.flows) {
+		return -1
+	}
+	return a.last
+}

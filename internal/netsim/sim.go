@@ -64,4 +64,6 @@ const (
 	evRTO // retransmission timeout (cancellable handle)
 	// App events.
 	evAppStep // Ptr=*Rank
+	// FlowApp events.
+	evFlowStart // A=index into the sorted start order
 )

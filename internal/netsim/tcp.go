@@ -22,7 +22,7 @@ type TCPConn struct {
 	dupacks        int
 	inRecovery     bool
 	recoverSeq     int64
-	ecnGuard       int64 // no further ECN reaction until sndUna passes this
+	ecnGuard       int64         // no further ECN reaction until sndUna passes this
 	rto            engine.Handle // pending RTO event; cancelled on progress
 	done           func(fct Time)
 	startAt        Time

@@ -15,6 +15,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/netsim"
 )
@@ -288,7 +289,8 @@ func ByName(name string, n int) (*Trace, error) {
 	case "IMB":
 		return IMBAlltoall(n), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown application %q", name)
+		return nil, fmt.Errorf("workload: unknown application %q (valid: %s)",
+			name, strings.Join(TableIVApps(), ", "))
 	}
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -204,6 +205,20 @@ func BenchmarkTraceWrite(b *testing.B) {
 		var buf bytes.Buffer
 		if err := tr.Write(&buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ByName's error must name the valid applications so a caller can fix
+// a typo without reading source.
+func TestByNameUnknownListsCandidates(t *testing.T) {
+	_, err := ByName("HPrG", 4)
+	if err == nil {
+		t.Fatal("unknown workload resolved")
+	}
+	for _, want := range TableIVApps() {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %q", err, want)
 		}
 	}
 }

@@ -37,18 +37,34 @@
 //	col := sdt.NewTelemetryCollector(topo, sdt.Millisecond, 0)
 //	results, err := sdt.Sweep(ctx, jobs, sdt.WithWorkers(0), sdt.WithTelemetry(col))
 //
+// Workloads come in two families (WORKLOADS.md is the catalogue):
+// closed-loop MPI trace replay (PingpongTrace, AlltoallTrace, HPCG,
+// HPL, ...) via Scenario.Trace, and open-loop synthetic traffic via
+// Scenario.Flows — seeded Poisson flow arrivals at a target load
+// factor under a pluggable pattern (uniform, permutation, incast,
+// outcast, hotspot, rack-local) with configurable size distributions:
+//
+//	fs := sdt.LoadSpec{
+//		Ranks: 16, Load: 0.5, Flows: 10_000,
+//		Pattern: sdt.PatternIncast(8), Sizes: sdt.WebSearchSizes(),
+//		Seed: 7,
+//	}.MustGenerate()
+//	res, err := sdt.Run(ctx, tb, sdt.Scenario{Topo: topo, Flows: fs.Flows})
+//	fct := sdt.MeasureFCT(fs.Flows, 10e9, 0, nil) // per-bucket p50/p95/p99
+//
 // The older positional entry points (Testbed.RunTrace,
 // Testbed.RunBatch) remain as deprecated thin wrappers over Run/Sweep
 // and produce identical results.
 //
 // The full implementation lives in the internal packages; see DESIGN.md
-// for the system inventory and EXPERIMENTS.md for the reproduced
-// evaluation.
+// for the system inventory, WORKLOADS.md for the workload catalogue,
+// and EXPERIMENTS.md for the reproduced evaluation.
 package sdt
 
 import (
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/partition"
 	"repro/internal/projection"
@@ -250,3 +266,58 @@ var (
 	MiniFETrace    = workload.MiniFE
 	WorkloadByName = workload.ByName
 )
+
+// Flow is one open-loop transfer: rank-indexed endpoints, a size, an
+// absolute start time, and — after a run — its completion result.
+type Flow = netsim.Flow
+
+// NewFlowApp drives a flow schedule through a network directly; most
+// callers run flows through a Scenario instead (Scenario.Flows).
+var NewFlowApp = netsim.NewFlowApp
+
+// LoadSpec describes one synthetic open-loop workload: ranks, target
+// load factor, pattern, size distribution, flow count, and seed.
+// Equal specs generate byte-identical schedules.
+type LoadSpec = loadgen.Spec
+
+// LoadFlowSet is a generated schedule: run it live via Scenario.Flows
+// or compile it with Trace() into a replayable workload trace.
+type LoadFlowSet = loadgen.FlowSet
+
+// TrafficPattern chooses communicating pairs for a LoadSpec.
+type TrafficPattern = loadgen.Pattern
+
+// SizeDist draws flow sizes for a LoadSpec.
+type SizeDist = loadgen.SizeDist
+
+// CDFPoint is one point of an empirical flow-size CDF for NewSizeCDF:
+// a fraction Frac of flows are of size <= Bytes.
+type CDFPoint = loadgen.CDFPoint
+
+// Traffic patterns (the loadgen catalogue; see WORKLOADS.md).
+var (
+	PatternUniform     = loadgen.Uniform
+	PatternPermutation = loadgen.Permutation
+	PatternIncast      = loadgen.Incast
+	PatternOutcast     = loadgen.Outcast
+	PatternHotspot     = loadgen.Hotspot
+	PatternRackLocal   = loadgen.RackLocal
+	PatternByName      = loadgen.PatternByName
+)
+
+// Flow-size distributions.
+var (
+	FixedSize       = loadgen.FixedSize
+	WebSearchSizes  = loadgen.WebSearch
+	DataMiningSizes = loadgen.DataMining
+	ScaleSizes      = loadgen.ScaleSizes
+	NewSizeCDF      = loadgen.NewCDF
+)
+
+// FCTReport is the bucketed flow-completion-time summary of a finished
+// open-loop run: per size bucket, FCT and slowdown percentiles.
+type FCTReport = telemetry.FCTReport
+
+// MeasureFCT buckets a finished flow schedule into FCT/slowdown
+// percentiles per flow-size bucket.
+var MeasureFCT = telemetry.MeasureFCT
