@@ -76,6 +76,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "loadgen schedule seed (equal seeds rerun byte-identical)")
 	flows := flag.Int("flows", 0, "loadgen flows per grid cell (0 = experiment default)")
 	load := flag.Float64("load", 0, "loadgen-incast victim load factor (0 = 0.8)")
+	nFaults := flag.Int("faults", 0, "faults-sweep link-failure count per cell (0 = the {1,2,4} grid)")
+	mtbf := flag.Float64("mtbf", 0, "faults-flap link MTBF in ms, MTTR = MTBF/4 (0 = the {1,2,4,8} ms grid)")
 	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
 	list := flag.Bool("list", false, "list registered experiments with their descriptions and exit")
 	flag.Parse()
@@ -97,6 +99,8 @@ func main() {
 		Seed:     *seed,
 		Flows:    *flows,
 		Load:     *load,
+		Faults:   *nFaults,
+		MTBF:     netsim.Time(*mtbf * float64(netsim.Millisecond)),
 	}
 
 	var selected []experiments.Entry

@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/projection"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -93,6 +94,18 @@ type RunResult struct {
 	// Fabric health counters.
 	Drops, Pauses, EcnMarks int64
 	Events                  int64
+
+	// Fault-run results (zero / nil unless the scenario carried a
+	// faults.Spec).
+	//
+	// FaultDrops counts packets lost to dead links and switches.
+	FaultDrops int64
+	// Incomplete counts open-loop flows that never finished (packet
+	// loss is non-fatal for Flows scenarios under faults; ACT then
+	// reports the last completed flow).
+	Incomplete int
+	// Recovery carries the per-fault repair and reconvergence metrics.
+	Recovery *telemetry.Recovery
 }
 
 // Network builds the netsim fabric for a topology in the given mode,
@@ -163,11 +176,14 @@ func (tb *Testbed) RunTrace(g *topology.Graph, tr *workload.Trace, hosts []int, 
 	return Run(context.Background(), tb, Scenario{Topo: g, Trace: tr, Hosts: hosts, Mode: mode})
 }
 
-// pickSpread deterministically selects n hosts spread across the list
+// PickSpread deterministically selects n hosts spread across the list
 // ("randomly select the nodes but keep the same among all the
-// evaluations", §VI-D). Asking for at least as many hosts as exist
-// returns the whole list.
-func pickSpread(all []int, n int) []int {
+// evaluations", §VI-D) — the placement Run uses when Scenario.Hosts is
+// nil, exported so callers that must know the placement up front (e.g.
+// faults-flap locating the incast victim's uplink) share one
+// implementation. Asking for at least as many hosts as exist returns
+// the whole list.
+func PickSpread(all []int, n int) []int {
 	if n >= len(all) {
 		return all
 	}

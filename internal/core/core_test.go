@@ -101,7 +101,7 @@ func TestRunTraceRejectsTooManyRanks(t *testing.T) {
 
 func TestPickSpread(t *testing.T) {
 	all := []int{10, 11, 12, 13, 14, 15, 16, 17}
-	got := pickSpread(all, 4)
+	got := PickSpread(all, 4)
 	if len(got) != 4 {
 		t.Fatalf("len = %d", len(got))
 	}
@@ -109,10 +109,10 @@ func TestPickSpread(t *testing.T) {
 		t.Errorf("spread = %v", got)
 	}
 	// Determinism.
-	again := pickSpread(all, 4)
+	again := PickSpread(all, 4)
 	for i := range got {
 		if got[i] != again[i] {
-			t.Fatal("pickSpread not deterministic")
+			t.Fatal("PickSpread not deterministic")
 		}
 	}
 }

@@ -10,6 +10,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/routing"
 	"repro/internal/telemetry"
@@ -43,6 +44,20 @@ type Scenario struct {
 	// SimConfig overrides the testbed's fabric configuration for this
 	// run only (nil = use Testbed.Cfg).
 	SimConfig *netsim.Config
+	// Faults schedules link/switch failures (and recoveries) during
+	// the run: the spec expands into a deterministic timed event list,
+	// dead elements drop traversing packets, and — unless the spec
+	// disables repair — a controller reroute patches the live FIB
+	// around each outage after the modelled detection latency. The run
+	// result then carries FaultDrops, Incomplete, and Recovery. Nil
+	// (the default) changes nothing: a fault-free run is byte-identical
+	// to one built before the fault subsystem existed.
+	//
+	// Packet loss is tolerated only for open-loop Flows scenarios
+	// (incomplete flows are reported, not fatal); a Trace scenario that
+	// loses a packet still fails with "did not complete", since
+	// closed-loop replay cannot progress past a lost message.
+	Faults *faults.Spec
 }
 
 // Hooks observes one run's lifecycle. Any field may be nil. Tick fires

@@ -13,7 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/controller"
+	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -184,7 +187,7 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 		if len(all) < ranks {
 			return nil, fmt.Errorf("core: topology %q has %d hosts, workload needs %d", g.Name, len(all), ranks)
 		}
-		hosts = pickSpread(all, ranks)
+		hosts = PickSpread(all, ranks)
 	}
 	if len(hosts) < ranks {
 		return nil, fmt.Errorf("core: %d hosts for %d ranks", len(hosts), ranks)
@@ -206,6 +209,10 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	} else {
 		app = netsim.NewFlowApp(net, hosts[:ranks], sc.Flows, nil)
 	}
+	tracker, err := armFaults(net, sc, g)
+	if err != nil {
+		return nil, err
+	}
 	for _, h := range cfg.observers {
 		if h.Start != nil {
 			h.Start(net, sc)
@@ -222,14 +229,25 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 		return nil, err
 	}
 	act := app.ACT()
+	incomplete := 0
 	if act < 0 {
-		return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d",
-			name, g.Name, sc.Mode, net.TotalDrops)
+		fa, isFlows := app.(*netsim.FlowApp)
+		if sc.Faults == nil || !isFlows {
+			return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d faultdrops=%d",
+				name, g.Name, sc.Mode, net.TotalDrops, net.FaultDrops)
+		}
+		// Open-loop flows under faults: packet loss is a result, not an
+		// error. ACT degrades to the last completed flow.
+		act = fa.LastCompletion()
+		incomplete = fa.Outstanding()
 	}
 	res := &RunResult{
 		Mode: sc.Mode, ACT: act, Wall: wall,
 		Drops: net.TotalDrops, Pauses: net.PausesSent, EcnMarks: net.EcnMarks,
-		Events: net.Sim.Events(),
+		Events: net.Sim.Events(), FaultDrops: net.FaultDrops, Incomplete: incomplete,
+	}
+	if tracker != nil {
+		res.Recovery = tracker.Report(incomplete)
 	}
 	switch sc.Mode {
 	case FullTestbed:
@@ -248,6 +266,40 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 		}
 	}
 	return res, nil
+}
+
+// armFaults expands and binds the scenario's fault schedule, if any:
+// the fabric degrades at each event, a Rerouter patches a run-private
+// clone of the route set after the spec's repair latency, and a
+// RecoveryTracker stamps fault/repair/reconvergence times. Returns nil
+// when the scenario carries no faults.
+func armFaults(net *netsim.Network, sc Scenario, g *topology.Graph) (*telemetry.RecoveryTracker, error) {
+	if sc.Faults == nil {
+		return nil, nil
+	}
+	sched, err := sc.Faults.Schedule(g)
+	if err != nil {
+		return nil, err
+	}
+	tracker := telemetry.NewRecoveryTracker(net)
+	obs := []faults.Observer{faults.ObserverFunc(func(n *netsim.Network, ev faults.Event) {
+		tracker.Fault(n.Sim.Now(), ev.String())
+	})}
+	if lat := sc.Faults.Repair(); lat >= 0 {
+		if rf, ok := net.Fwd.(netsim.RouteForwarder); ok {
+			// Repairs mutate the route set mid-run; give this run its
+			// own copy so SDT deployments and sweep siblings sharing
+			// the original stay untouched.
+			live := rf.Routes.Clone()
+			live.Prime()
+			net.Fwd = netsim.NewRouteForwarder(live)
+			rr := controller.NewRerouter(g, live, lat)
+			rr.OnRepair = func(rep controller.Repair) { tracker.Repaired(rep.At, rep.RulesChanged) }
+			obs = append(obs, rr)
+		}
+	}
+	faults.Bind(net, sched, obs...)
+	return tracker, nil
 }
 
 // armTicks schedules each observer's periodic Tick inside the

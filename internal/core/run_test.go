@@ -321,13 +321,13 @@ func TestSweepSharedTelemetryCollector(t *testing.T) {
 func TestPickSpreadOverflow(t *testing.T) {
 	all := []int{3, 5, 7}
 	for _, n := range []int{3, 4, 100} {
-		got := pickSpread(all, n)
+		got := PickSpread(all, n)
 		if len(got) != len(all) {
-			t.Fatalf("pickSpread(%v, %d) = %v, want the whole list", all, n, got)
+			t.Fatalf("PickSpread(%v, %d) = %v, want the whole list", all, n, got)
 		}
 		for i := range all {
 			if got[i] != all[i] {
-				t.Fatalf("pickSpread(%v, %d) = %v", all, n, got)
+				t.Fatalf("PickSpread(%v, %d) = %v", all, n, got)
 			}
 		}
 	}

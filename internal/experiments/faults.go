@@ -1,0 +1,368 @@
+package experiments
+
+// The fault-injection scenario sets: open-loop traffic over fabrics
+// that lose links and switches mid-run, with the reactive controller
+// repairing routes around each outage. faults-sweep crosses topology ×
+// routing strategy × fault count; faults-flap stresses a single
+// MTBF/MTTR-flapping link under incast. Everything — flow schedules,
+// fault times, failed-element choices — derives from the seed, so
+// rerunning with equal seeds is byte-identical at any -parallel worker
+// count (the golden harness and the determinism tests pin this).
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+func init() {
+	Register(120, "faults-sweep", "faults: link failures + controller reroute, topology x strategy x fault count, FCT and recovery",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := FaultSweep(ctx, p)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+	Register(130, "faults-flap", "faults: single-link MTBF/MTTR flapping under incast, recovery metrics per flap rate",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := FaultFlap(ctx, p)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		})
+}
+
+// Sweep fault geometry, relative to the flow schedule's injection
+// window: open-loop schedules compress time (the 16-rank uniform grid
+// injects its whole load in tens of microseconds), so the sweep scales
+// the outage and the controller's detection+install latency with the
+// window rather than using wall-realistic constants — each outage lasts
+// a quarter of the window and repair lands after a sixteenth, keeping
+// the loss→repair→reroute→heal sequence visible inside the traffic at
+// any -flows value. faults-flap keeps the realistic default latency:
+// its incast window spans tens of milliseconds.
+const (
+	sweepOutageFrac = 4  // outage = window / sweepOutageFrac
+	sweepRepairFrac = 16 // repair latency = window / sweepRepairFrac
+)
+
+// FaultSweepCell is one (topology, strategy, fault count) grid point.
+type FaultSweepCell struct {
+	Topo     string
+	Strategy string
+	Faults   int
+	Flows    int
+	// Results.
+	Completed  int
+	Lost       int64 // packets dropped by dead elements
+	Drops      int64 // congestion / table-miss drops (post-repair blackholes)
+	Churn      int   // rules added+removed across all repairs
+	Reconv     netsim.Time
+	ReconvN    int
+	P50, P99   float64 // FCT slowdown percentiles over completed flows
+	Incomplete int
+}
+
+// FaultSweepResult is the full grid.
+type FaultSweepResult struct {
+	Seed  int64
+	Cells []FaultSweepCell
+}
+
+// FaultSweep runs seeded uniform open-loop traffic (scaled web-search
+// sizes, load 0.3) on fat-tree, dragonfly and 2D torus, under each
+// topology's Table III strategy and under generic shortest-path, while
+// {1, 2, 4} seeded core links fail one-shot for 1 ms each, spread
+// across the flow window; the reactive controller repairs after the
+// default detection latency. Params: Seed (0 = 1), Flows (0 = 96 per
+// cell), Faults (> 0 replaces the fault-count axis), Workers.
+func FaultSweep(ctx context.Context, p Params) (*FaultSweepResult, error) {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	flows := p.Flows
+	if flows <= 0 {
+		flows = 96
+	}
+	faultCounts := []int{1, 2, 4}
+	if p.Faults > 0 {
+		faultCounts = []int{p.Faults}
+	}
+	topos := []*topology.Graph{
+		topology.FatTree(4),
+		topology.Dragonfly(4, 9, 2, 1),
+		topology.Torus2D(4, 4, 1),
+	}
+	cfg := netsim.DefaultConfig()
+	sizes := loadgen.ScaleSizes(loadgen.WebSearch(), 1.0/64)
+	const ranks = 16
+	const load = 0.3
+
+	res := &FaultSweepResult{Seed: seed}
+	var jobs []core.Job
+	var flowSets []*loadgen.FlowSet
+	for _, g := range topos {
+		tb, err := core.PaperTestbed([]*topology.Graph{g})
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range []routing.Strategy{nil, routing.ShortestPath{}} {
+			name := routing.ForTopology(g).Name()
+			if strat != nil {
+				name = strat.Name()
+			}
+			for _, nf := range faultCounts {
+				cellSeed := seed + int64(len(res.Cells))
+				fs, err := loadgen.Spec{
+					Ranks: ranks, Pattern: loadgen.Uniform(), Sizes: sizes,
+					Load: load, Flows: flows, Seed: cellSeed, LinkBps: cfg.LinkBps,
+				}.Generate()
+				if err != nil {
+					return nil, err
+				}
+				spec, err := oneShotLinkFaults(g, nf, cellSeed, fs)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, FaultSweepCell{
+					Topo: g.Name, Strategy: name, Faults: nf, Flows: flows,
+				})
+				flowSets = append(flowSets, fs)
+				jobs = append(jobs, core.Job{TB: tb, Scenario: core.Scenario{
+					Topo: g, Flows: fs.Flows, Mode: core.FullTestbed,
+					Strategy: strat, Faults: spec,
+				}})
+			}
+		}
+	}
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		fillFaultCell(c, results[i], flowSets[i], cfg)
+	}
+	return res, nil
+}
+
+// oneShotLinkFaults builds the sweep's fault spec: nf distinct seeded
+// core links fail at times evenly spread across the flow schedule's
+// injection window, each healing after a quarter of the window; the
+// repair latency scales with the window (see the fraction constants).
+func oneShotLinkFaults(g *topology.Graph, nf int, seed int64, fs *loadgen.FlowSet) (*faults.Spec, error) {
+	edges := faults.PickCoreEdges(g, nf, seed)
+	if len(edges) < nf {
+		return nil, fmt.Errorf("faults: topology %q has only %d core edges, need %d", g.Name, len(edges), nf)
+	}
+	window := fs.Flows[len(fs.Flows)-1].Start
+	outage := window / sweepOutageFrac
+	repair := window / sweepRepairFrac
+	if repair < netsim.Microsecond {
+		repair = netsim.Microsecond
+	}
+	if outage <= repair {
+		outage = 2 * repair
+	}
+	spec := &faults.Spec{Seed: seed, RepairLatency: repair}
+	for i, e := range edges {
+		at := window * netsim.Time(i+1) / netsim.Time(nf+1)
+		spec.Events = append(spec.Events,
+			faults.Event{At: at, Kind: faults.LinkDown, Elem: e},
+			faults.Event{At: at + outage, Kind: faults.LinkUp, Elem: e},
+		)
+	}
+	return spec, nil
+}
+
+// fillFaultCell reads one run's fault + FCT results into a cell.
+func fillFaultCell(c *FaultSweepCell, r *core.RunResult, fs *loadgen.FlowSet, cfg netsim.Config) {
+	rep := telemetry.MeasureFCT(fs.Flows, cfg.LinkBps, idealBase(cfg), []int{})
+	c.Completed = rep.Completed
+	c.Lost = r.FaultDrops
+	c.Drops = r.Drops
+	c.Incomplete = r.Incomplete
+	if len(rep.Buckets) > 0 && rep.Buckets[0].Count > 0 {
+		c.P50, c.P99 = rep.Buckets[0].P50, rep.Buckets[0].P99
+	}
+	if r.Recovery != nil {
+		c.Churn = r.Recovery.TotalChurn()
+		c.Reconv, c.ReconvN = r.Recovery.MeanReconvergence()
+	}
+}
+
+// Format prints the fault sweep grid.
+func (r *FaultSweepResult) Format(w io.Writer) {
+	writeHeader(w, fmt.Sprintf("faults: link failures with controller reroute (uniform load 0.3, outages window/4, repair window/16, seed %d)", r.Seed))
+	fmt.Fprintf(w, "%-16s %-16s %6s %6s %9s %6s %6s %6s %10s %8s %8s\n",
+		"topology", "strategy", "faults", "flows", "completed", "lost", "drops", "churn", "reconv", "p50", "p99")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		reconv := "-"
+		if c.ReconvN > 0 {
+			reconv = fmt.Sprintf("%.0fus", float64(c.Reconv)/float64(netsim.Microsecond))
+		}
+		fmt.Fprintf(w, "%-16s %-16s %6d %6d %9d %6d %6d %6d %10s %7.2fx %7.2fx\n",
+			c.Topo, c.Strategy, c.Faults, c.Flows, c.Completed,
+			c.Lost, c.Drops, c.Churn, reconv, c.P50, c.P99)
+	}
+}
+
+// FaultFlapRow is one MTBF point of the flap study.
+type FaultFlapRow struct {
+	MTBF, MTTR netsim.Time
+	// Edge is the flapping uplink (the victim is seeded per row, so
+	// each row flaps its own victim's ToR uplink).
+	Edge      int
+	Downs     int // link-down events in the schedule
+	Flows     int
+	Completed int
+	Lost      int64
+	Churn     int
+	Reconv    netsim.Time
+	ReconvN   int
+	P99       float64
+	Pauses    int64
+}
+
+// FaultFlapResult is the §VI-C-style incast study under a flapping
+// uplink.
+type FaultFlapResult struct {
+	Seed int64
+	Rows []FaultFlapRow
+}
+
+// FaultFlap runs incast 8:1 (64 kB flows, PFC, load 0.8) on the k=4
+// fat-tree while one uplink of the victim's ToR flaps with exponential
+// MTBF/MTTR (MTTR = MTBF/4), the reactive controller repairing after
+// each transition. Rows sweep MTBF over {1, 2, 4, 8} ms. Params: Seed
+// (0 = 1), Flows (0 = 96), MTBF (> 0 replaces the MTBF axis), Workers.
+func FaultFlap(ctx context.Context, p Params) (*FaultFlapResult, error) {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	flows := p.Flows
+	if flows <= 0 {
+		flows = 96
+	}
+	mtbfs := []netsim.Time{netsim.Millisecond, 2 * netsim.Millisecond, 4 * netsim.Millisecond, 8 * netsim.Millisecond}
+	if p.MTBF > 0 {
+		mtbfs = []netsim.Time{p.MTBF}
+	}
+	const fanin = 8
+	g := topology.FatTree(4)
+	cfg := netsim.DefaultConfig()
+	tb, err := core.PaperTestbed([]*topology.Graph{g})
+	if err != nil {
+		return nil, err
+	}
+	// Explicit rank placement (the same deterministic spread Run would
+	// pick) so the victim's host vertex — and with it the flapping
+	// uplink — is known before the run.
+	hosts := core.PickSpread(g.Hosts(), fanin+1)
+
+	res := &FaultFlapResult{Seed: seed}
+	var jobs []core.Job
+	var flowSets []*loadgen.FlowSet
+	var scheds [][]faults.Event
+	for i, mtbf := range mtbfs {
+		fs, err := loadgen.Spec{
+			Ranks: fanin + 1, Pattern: loadgen.Incast(fanin),
+			Sizes: loadgen.FixedSize(64 * 1024),
+			Load:  0.8, Flows: flows, Seed: seed + int64(i),
+			LinkBps: cfg.LinkBps,
+		}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		// The flapping link: the lowest-ID uplink of this row's victim.
+		victim := hosts[fs.Flows[0].Dst]
+		tor := g.HostSwitch(victim)
+		edge := -1
+		for _, eid := range g.IncidentEdges(tor) {
+			e := g.Edges[eid]
+			far := e.A
+			if far == tor {
+				far = e.B
+			}
+			if g.Vertices[far].Kind == topology.Switch && (edge < 0 || eid < edge) {
+				edge = eid
+			}
+		}
+		if edge < 0 {
+			return nil, fmt.Errorf("faults-flap: victim ToR %d has no uplink", tor)
+		}
+		spec := &faults.Spec{
+			Flaps:   []faults.Flap{faults.LinkFlap(edge, mtbf, mtbf/4)},
+			Horizon: fs.Flows[len(fs.Flows)-1].Start,
+			Seed:    seed + int64(i),
+		}
+		sched, err := spec.Schedule(g)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, FaultFlapRow{MTBF: mtbf, MTTR: mtbf / 4, Edge: edge, Flows: flows})
+		flowSets = append(flowSets, fs)
+		scheds = append(scheds, sched)
+		jobs = append(jobs, core.Job{TB: tb, Scenario: core.Scenario{
+			Topo: g, Flows: fs.Flows, Mode: core.FullTestbed, Hosts: hosts, Faults: spec,
+		}})
+	}
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		for _, ev := range scheds[i] {
+			if ev.Kind == faults.LinkDown {
+				row.Downs++
+			}
+		}
+		rep := telemetry.MeasureFCT(flowSets[i].Flows, cfg.LinkBps, idealBase(cfg), []int{})
+		row.Completed = rep.Completed
+		if len(rep.Buckets) > 0 && rep.Buckets[0].Count > 0 {
+			row.P99 = rep.Buckets[0].P99
+		}
+		row.Lost = results[i].FaultDrops
+		row.Pauses = results[i].Pauses
+		if results[i].Recovery != nil {
+			row.Churn = results[i].Recovery.TotalChurn()
+			row.Reconv, row.ReconvN = results[i].Recovery.MeanReconvergence()
+		}
+	}
+	return res, nil
+}
+
+// Format prints the flap table.
+func (r *FaultFlapResult) Format(w io.Writer) {
+	writeHeader(w, fmt.Sprintf("faults: incast 8:1 under a flapping ToR uplink (64KB flows, PFC, seed %d)", r.Seed))
+	fmt.Fprintf(w, "%8s %8s %5s %6s %6s %9s %6s %6s %10s %9s %8s\n",
+		"MTBF", "MTTR", "edge", "downs", "flows", "completed", "lost", "churn", "reconv", "p99 slow", "pauses")
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		reconv := "-"
+		if row.ReconvN > 0 {
+			reconv = fmt.Sprintf("%.0fus", float64(row.Reconv)/float64(netsim.Microsecond))
+		}
+		fmt.Fprintf(w, "%6.1fms %6.2fms %5d %6d %6d %9d %6d %6d %10s %8.2fx %8d\n",
+			float64(row.MTBF)/float64(netsim.Millisecond),
+			float64(row.MTTR)/float64(netsim.Millisecond),
+			row.Edge, row.Downs, row.Flows, row.Completed, row.Lost, row.Churn,
+			reconv, row.P99, row.Pauses)
+	}
+}

@@ -42,6 +42,12 @@ type Params struct {
 	// Load is the loadgen-incast victim load factor in (0, 1]
 	// (0 = 0.8).
 	Load float64
+	// Faults overrides faults-sweep's fault-count axis (0 = the
+	// default {1, 2, 4} grid).
+	Faults int
+	// MTBF overrides faults-flap's MTBF axis (0 = the default
+	// {1, 2, 4, 8} ms grid; MTTR follows as MTBF/4).
+	MTBF netsim.Time
 }
 
 // Runner executes one registered scenario set, writing its formatted

@@ -1,0 +1,326 @@
+// Package faults synthesizes deterministic fault schedules — timed
+// link and switch failures and recoveries — and executes them against
+// a running netsim fabric.
+//
+// A Spec is a pure description: one-shot events at absolute simulated
+// times plus MTBF/MTTR flap generators whose up/down intervals are
+// exponential draws from the same SplitMix64 RNG the loadgen schedules
+// use. Schedule(g) expands a spec into a validated, time-sorted event
+// list that is byte-identical for equal (spec, topology) inputs across
+// runs, platforms, and Go versions — the property the golden-output
+// regression harness and the any-worker-count determinism tests pin.
+//
+// Bind arms a schedule on a network: at each event's simulated time the
+// fabric state flips (netsim.Network.SetLinkDown/SetSwitchDown — dead
+// elements drop traversing packets into Network.FaultDrops), then every
+// registered Observer is notified inside the engine thread. The
+// reactive repair path (controller.Rerouter) and the recovery metrics
+// (telemetry.RecoveryTracker) are both observers; a spec with no
+// observers still degrades the fabric.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Kind is the fault event type.
+type Kind uint8
+
+// Fault event kinds. Down events disable an element; Up events restore
+// it. Elem is a logical edge ID for link events and a switch vertex ID
+// for switch events.
+const (
+	LinkDown Kind = iota
+	LinkUp
+	SwitchDown
+	SwitchUp
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault: at simulated time At, element Elem
+// (edge ID for link kinds, switch vertex ID for switch kinds) changes
+// state.
+type Event struct {
+	At   netsim.Time
+	Kind Kind
+	Elem int
+}
+
+// String renders the event for logs and digests.
+func (e Event) String() string {
+	unit := "e"
+	if e.Kind == SwitchDown || e.Kind == SwitchUp {
+		unit = "v"
+	}
+	return fmt.Sprintf("%s %s%d @%dus", e.Kind, unit, e.Elem,
+		int64(e.At/netsim.Microsecond))
+}
+
+// Flap is a repeating failure process on one element: up-times are
+// exponential with mean MTBF, outages exponential with mean MTTR.
+// Exactly one of Link (edge ID) and Switch (vertex ID) is >= 0.
+type Flap struct {
+	Link   int
+	Switch int
+	MTBF   netsim.Time
+	MTTR   netsim.Time
+}
+
+// LinkFlap builds a flap process on a logical edge.
+func LinkFlap(edge int, mtbf, mttr netsim.Time) Flap {
+	return Flap{Link: edge, Switch: -1, MTBF: mtbf, MTTR: mttr}
+}
+
+// SwitchFlap builds a flap process on a switch vertex.
+func SwitchFlap(v int, mtbf, mttr netsim.Time) Flap {
+	return Flap{Link: -1, Switch: v, MTBF: mtbf, MTTR: mttr}
+}
+
+// Spec describes one fault workload. The zero Spec is valid and empty
+// (no faults). Equal specs expand to byte-identical schedules.
+type Spec struct {
+	// Events are one-shot faults at absolute simulated times.
+	Events []Event
+	// Flaps are repeating MTBF/MTTR failure processes, expanded up to
+	// Horizon.
+	Flaps []Flap
+	// Horizon bounds flap expansion (required when Flaps is non-empty;
+	// events past the horizon are not generated, so an element may end
+	// the run down).
+	Horizon netsim.Time
+	// Seed drives the flap interval draws. Equal seeds reproduce equal
+	// schedules.
+	Seed int64
+	// RepairLatency is the controller's detection + recompute + install
+	// delay between a fault taking effect and the repaired routes going
+	// live (0 = 500 µs, the reactive flow-setup round trip). Negative
+	// disables repair: routes stay stale and traffic toward dead
+	// elements keeps dropping.
+	RepairLatency netsim.Time
+}
+
+// DefaultRepairLatency is the detection→install delay used when
+// Spec.RepairLatency is zero.
+const DefaultRepairLatency = 500 * netsim.Microsecond
+
+// Repair resolves the spec's effective repair latency (< 0 = repair
+// disabled).
+func (s *Spec) Repair() netsim.Time {
+	if s.RepairLatency == 0 {
+		return DefaultRepairLatency
+	}
+	return s.RepairLatency
+}
+
+// flapSeed derives an independent RNG stream per flap index so one
+// flap's draw count never perturbs another's schedule.
+func flapSeed(seed int64, i int) int64 {
+	return int64(uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15)
+}
+
+// Schedule validates the spec against a topology and expands it into
+// the time-sorted event list Bind executes. Ties at equal times keep
+// spec order: one-shot events first, then flap streams in declaration
+// order.
+func (s *Spec) Schedule(g *topology.Graph) ([]Event, error) {
+	var out []Event
+	for i, ev := range s.Events {
+		if err := checkElem(g, ev.Kind, ev.Elem); err != nil {
+			return nil, fmt.Errorf("faults: event %d: %w", i, err)
+		}
+		if ev.At < 0 {
+			return nil, fmt.Errorf("faults: event %d: negative time %d", i, ev.At)
+		}
+		out = append(out, ev)
+	}
+	if len(s.Flaps) > 0 && s.Horizon <= 0 {
+		return nil, fmt.Errorf("faults: flaps need a positive Horizon")
+	}
+	// An element's up/down state is a plain boolean, not a reference
+	// count: two independent sources driving the same element would let
+	// the earliest Up restore it while the other source still holds it
+	// down. One-shot sequences on one element are fine (they are a
+	// single ordered script); a flap must own its element exclusively.
+	type target struct {
+		link bool
+		elem int
+	}
+	owned := map[target]bool{}
+	for _, ev := range s.Events {
+		owned[target{ev.Kind == LinkDown || ev.Kind == LinkUp, ev.Elem}] = true
+	}
+	for i, fl := range s.Flaps {
+		tg := target{fl.Link >= 0, fl.Link}
+		if !tg.link {
+			tg.elem = fl.Switch
+		}
+		if owned[tg] {
+			return nil, fmt.Errorf("faults: flap %d targets an element already driven by another event source", i)
+		}
+		owned[tg] = true
+	}
+	for i, fl := range s.Flaps {
+		down, up := SwitchDown, SwitchUp
+		elem := fl.Switch
+		if fl.Link >= 0 && fl.Switch >= 0 {
+			return nil, fmt.Errorf("faults: flap %d names both a link and a switch", i)
+		}
+		if fl.Link >= 0 {
+			down, up, elem = LinkDown, LinkUp, fl.Link
+		}
+		if err := checkElem(g, down, elem); err != nil {
+			return nil, fmt.Errorf("faults: flap %d: %w", i, err)
+		}
+		if fl.MTBF <= 0 || fl.MTTR <= 0 {
+			return nil, fmt.Errorf("faults: flap %d: MTBF and MTTR must be positive", i)
+		}
+		rng := loadgen.NewRNG(flapSeed(s.Seed, i))
+		t := netsim.Time(0)
+		for {
+			t += expDraw(rng, fl.MTBF)
+			if t > s.Horizon {
+				break
+			}
+			out = append(out, Event{At: t, Kind: down, Elem: elem})
+			t += expDraw(rng, fl.MTTR)
+			if t > s.Horizon {
+				break
+			}
+			out = append(out, Event{At: t, Kind: up, Elem: elem})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out, nil
+}
+
+// expDraw samples an exponential interval with the given mean, floored
+// at one picosecond so flap streams always advance.
+func expDraw(rng *loadgen.RNG, mean netsim.Time) netsim.Time {
+	d := netsim.Time(rng.Exp() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// checkElem validates an event target against the topology.
+func checkElem(g *topology.Graph, k Kind, elem int) error {
+	switch k {
+	case LinkDown, LinkUp:
+		if elem < 0 || elem >= len(g.Edges) {
+			return fmt.Errorf("no edge %d in topology %q", elem, g.Name)
+		}
+	case SwitchDown, SwitchUp:
+		if elem < 0 || elem >= len(g.Vertices) {
+			return fmt.Errorf("no vertex %d in topology %q", elem, g.Name)
+		}
+		if g.Vertices[elem].Kind != topology.Switch {
+			return fmt.Errorf("vertex %d in topology %q is not a switch", elem, g.Name)
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %d", k)
+	}
+	return nil
+}
+
+// Digest renders a schedule one event per line — the byte-stable form
+// the determinism tests compare.
+func Digest(sched []Event) string {
+	var b []byte
+	for _, ev := range sched {
+		b = append(b, ev.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Observer is notified inside the engine thread immediately after a
+// fault event has taken effect on the fabric.
+type Observer interface {
+	OnFault(net *netsim.Network, ev Event)
+}
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc func(net *netsim.Network, ev Event)
+
+// OnFault implements Observer.
+func (f ObserverFunc) OnFault(net *netsim.Network, ev Event) { f(net, ev) }
+
+// Bind arms a schedule on a network: each event flips the fabric state
+// at its simulated time and then notifies the observers in order. Call
+// before the simulation runs.
+func Bind(net *netsim.Network, sched []Event, obs ...Observer) {
+	for _, ev := range sched {
+		ev := ev
+		net.Sim.At(ev.At, func() {
+			apply(net, ev)
+			for _, o := range obs {
+				o.OnFault(net, ev)
+			}
+		})
+	}
+}
+
+// apply flips one element's state.
+func apply(net *netsim.Network, ev Event) {
+	switch ev.Kind {
+	case LinkDown:
+		net.SetLinkDown(ev.Elem, true)
+	case LinkUp:
+		net.SetLinkDown(ev.Elem, false)
+	case SwitchDown:
+		net.SetSwitchDown(ev.Elem, true)
+	case SwitchUp:
+		net.SetSwitchDown(ev.Elem, false)
+	}
+}
+
+// CoreEdges returns the logical edges joining two switches (host
+// attachment links excluded) in edge-ID order — the candidate set for
+// random link faults that leave every destination attached.
+func CoreEdges(g *topology.Graph) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if g.Vertices[e.A].Kind == topology.Switch && g.Vertices[e.B].Kind == topology.Switch {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// PickCoreEdges deterministically samples k distinct switch-switch
+// edges using the seeded RNG (k is clamped to the candidate count).
+func PickCoreEdges(g *topology.Graph, k int, seed int64) []int {
+	cand := CoreEdges(g)
+	rng := loadgen.NewRNG(seed)
+	perm := rng.Perm(len(cand))
+	if k > len(cand) {
+		k = len(cand)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cand[perm[i]]
+	}
+	sort.Ints(out)
+	return out
+}

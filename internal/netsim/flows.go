@@ -155,6 +155,15 @@ func (a *FlowApp) complete(i int) {
 // Completed reports how many flows have finished.
 func (a *FlowApp) Completed() int { return a.nDone }
 
+// Outstanding reports how many flows have not finished.
+func (a *FlowApp) Outstanding() int { return len(a.flows) - a.nDone }
+
+// LastCompletion returns the time of the latest completed flow (0 when
+// none completed) regardless of whether the whole schedule finished —
+// the partial-completion ACT a fault run reports when packet loss
+// leaves flows incomplete.
+func (a *FlowApp) LastCompletion() Time { return a.last }
+
 // ACT returns the time the last flow completed, or -1 while any flow
 // is outstanding — the same contract as App.ACT, so the run loop
 // treats trace replay and flow schedules uniformly. An empty schedule

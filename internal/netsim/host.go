@@ -268,6 +268,9 @@ func (h *Host) roceData(pkt *Packet) {
 	e := h.roce
 	h.DeliveredBytes += int64(pkt.Len)
 	n.DeliveredPkt++
+	if n.OnDeliver != nil {
+		n.OnDeliver(n.Sim.Now())
+	}
 	if pkt.ECN && n.Cfg.DCQCN {
 		if last, ok := e.np[pkt.Src]; !ok || n.Sim.Now()-last >= n.Cfg.CNPInterval {
 			e.np[pkt.Src] = n.Sim.Now()

@@ -98,6 +98,12 @@ type DirLink struct {
 	TxBytes int64
 	// EdgeID is the logical edge this link realises.
 	EdgeID int
+	// src is the OutPort feeding this link (flushed when the link is
+	// cut).
+	src *OutPort
+	// down marks a failed link: packets entering or traversing it are
+	// dropped into Network.FaultDrops.
+	down bool
 }
 
 type deviceRef struct {
@@ -221,6 +227,11 @@ type SimSwitch struct {
 	// pfcPaused remembers which upstream ports we paused.
 	pfcSent [][nPrio]bool
 
+	// down marks a failed switch: packets arriving at it, inside its
+	// crossbar, or queued on its egress ports are dropped into
+	// Network.FaultDrops.
+	down bool
+
 	// Drops counts table-miss drops.
 	Drops int64
 }
@@ -327,6 +338,16 @@ type Network struct {
 	PausesSent   int64
 	EcnMarks     int64
 	DeliveredPkt int64
+	// FaultDrops counts packets lost to dead links and switches
+	// (separate from TotalDrops, which stays the congestion/table-miss
+	// count).
+	FaultDrops int64
+
+	// OnDeliver, when set, observes every RoCE payload delivery (the
+	// flow-application data path) at its simulated time — the recovery
+	// tracker uses it to timestamp the first delivery after a repair.
+	// Nil outside fault runs.
+	OnDeliver func(now Time)
 }
 
 // NewNetwork builds the fabric for a logical topology. crossbarOf maps
@@ -397,6 +418,7 @@ func NewNetwork(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v 
 			}
 			n.links = append(n.links, l)
 			op := &OutPort{link: l}
+			l.src = op
 			if h := n.hosts[from]; h != nil {
 				op.hostOwner = h
 				h.out = op
@@ -466,7 +488,15 @@ func (n *Network) OnEvent(now Time, ev engine.Event) {
 		n.tryTransmit(o)
 	case evArrive:
 		pkt := ev.Ptr.(*Packet)
-		to := n.links[ev.A].to
+		l := n.links[ev.A]
+		to := l.to
+		if l.down || (to.sw != nil && to.sw.down) {
+			// The wire was cut (or the far switch died) while the
+			// packet was in flight.
+			n.FaultDrops++
+			pkt.release()
+			return
+		}
 		pkt.inPort = to.inPort
 		if to.sw != nil {
 			to.sw.receive(pkt)
@@ -484,22 +514,36 @@ func (n *Network) OnEvent(now Time, ev engine.Event) {
 }
 
 // tryTransmit starts transmission on an output port if idle, honouring
-// PFC pause state per priority (highest priority first).
+// PFC pause state per priority (highest priority first). A dead link
+// (or a dead owning switch) transmits nothing: queued packets drain as
+// fault drops, with the same dequeue accounting a completed
+// transmission would have performed, so PFC state unwinds and the
+// fabric recovers cleanly when the element comes back.
 func (n *Network) tryTransmit(o *OutPort) {
 	if o.sending {
 		return
 	}
-	var q *fifo
-	for p := nPrio - 1; p >= 0; p-- {
-		if !o.queues[p].empty() && !o.paused[p] {
-			q = &o.queues[p]
-			break
+	var pkt *Packet
+	for {
+		var q *fifo
+		for p := nPrio - 1; p >= 0; p-- {
+			if !o.queues[p].empty() && !o.paused[p] {
+				q = &o.queues[p]
+				break
+			}
 		}
+		if q == nil {
+			return
+		}
+		pkt = q.pop()
+		if o.link.down || (o.ownerCache != nil && o.ownerCache.down) {
+			n.FaultDrops++
+			n.onDequeued(o, pkt.inPort, pkt.arrClass, pkt.Size)
+			pkt.release()
+			continue
+		}
+		break
 	}
-	if q == nil {
-		return
-	}
-	pkt := q.pop()
 	o.sending = true
 	l := o.link
 	ser := serTime(pkt.Size, l.bps)
@@ -559,6 +603,60 @@ func (n *Network) onDequeued(o *OutPort, inPort, prio, size int) {
 
 // ownerOf returns the switch owning an out port (nil for host NICs).
 func (n *Network) ownerOf(o *OutPort) *SimSwitch { return o.ownerCache }
+
+// SetLinkDown fails (or restores) both directions of a logical edge.
+// Cutting a link flushes the queues feeding it — every queued packet
+// drops into FaultDrops — and drops in-flight packets at their arrival
+// instant. It reports whether the edge exists in this fabric.
+func (n *Network) SetLinkDown(edge int, down bool) bool {
+	found := false
+	for _, l := range n.links {
+		if l.EdgeID != edge {
+			continue
+		}
+		found = true
+		l.down = down
+		// On a cut, drain the feeding queue as fault drops; on a
+		// restore, restart transmission (both are no-ops on an idle
+		// healthy port).
+		n.tryTransmit(l.src)
+	}
+	return found
+}
+
+// SetSwitchDown fails (or restores) a switch: packets arriving at it,
+// traversing its crossbar, or queued on its egress ports are dropped
+// into FaultDrops. It reports whether v is a switch in this fabric.
+func (n *Network) SetSwitchDown(v int, down bool) bool {
+	sw := n.Switch(v)
+	if sw == nil {
+		return false
+	}
+	sw.down = down
+	for _, o := range sw.outPorts {
+		if o != nil {
+			n.tryTransmit(o)
+		}
+	}
+	return true
+}
+
+// LinkIsDown reports whether any direction of a logical edge is
+// currently failed.
+func (n *Network) LinkIsDown(edge int) bool {
+	for _, l := range n.links {
+		if l.EdgeID == edge && l.down {
+			return true
+		}
+	}
+	return false
+}
+
+// SwitchIsDown reports whether switch vertex v is currently failed.
+func (n *Network) SwitchIsDown(v int) bool {
+	sw := n.Switch(v)
+	return sw != nil && sw.down
+}
 
 func minInt(a, b int) int {
 	if a < b {

@@ -29,6 +29,12 @@ func (s *SimSwitch) receive(pkt *Packet) {
 // OnEvent dispatches switch events (crossbar-traversal completions).
 func (s *SimSwitch) OnEvent(now Time, ev engine.Event) {
 	if ev.Kind == evSwEnqueue {
+		if s.down {
+			// The switch died while the packet crossed its crossbar.
+			s.net.FaultDrops++
+			ev.Ptr.(*Packet).release()
+			return
+		}
 		s.enqueue(s.outPorts[ev.A], int(ev.B>>4), int(ev.B&0xf), ev.Ptr.(*Packet))
 	}
 }

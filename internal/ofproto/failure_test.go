@@ -6,8 +6,12 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
+	"repro/internal/faults"
+	"repro/internal/netsim"
 	"repro/internal/openflow"
+	"repro/internal/topology"
 )
 
 // Failure injection: the agent and parsers must reject malformed input
@@ -168,3 +172,86 @@ func TestAgentClosesCleanOnEOF(t *testing.T) {
 
 // connOf exposes the client's transport for raw injections.
 func connOf(c *Client) io.ReadWriter { return c.conn }
+
+// TestMonitorNoticesFaultScheduledDisconnects drives the control
+// channel through a fault schedule: a faults.Spec expands into the
+// deterministic down/up sequence, each LinkDown severs the agent's TCP
+// connection and each LinkUp redials, and a controller-side monitor
+// tick (an Echo probe, the §V-3 liveness poll) runs after every
+// transition. The monitor must observe the failure on the FIRST tick
+// after each disconnect — no hang, no stale success — and recover on
+// the first tick after each reconnect. This closes the coverage gap
+// where the failure paths above only ever saw synthetically corrupted
+// frames, never an actual dead peer.
+func TestMonitorNoticesFaultScheduledDisconnects(t *testing.T) {
+	// The control channel modelled as a 1-edge topology, so the fault
+	// subsystem validates and orders the schedule.
+	g := topology.New("control-channel")
+	a := g.AddSwitch("controller")
+	b := g.AddSwitch("agent")
+	g.Connect(a, b)
+	channel := g.EdgeBetween(a, b)
+	spec := &faults.Spec{Events: []faults.Event{
+		{At: 1 * netsim.Millisecond, Kind: faults.LinkDown, Elem: channel},
+		{At: 2 * netsim.Millisecond, Kind: faults.LinkUp, Elem: channel},
+		{At: 3 * netsim.Millisecond, Kind: faults.LinkDown, Elem: channel},
+		{At: 4 * netsim.Millisecond, Kind: faults.LinkUp, Elem: channel},
+	}}
+	sched, err := spec.Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw := openflow.NewSwitch("s1", 4, 0)
+	agent := NewAgent(1, sw)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = agent.ListenAndServe(l) }()
+
+	dial := func() (net.Conn, *Client) {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn, client
+	}
+	conn, client := dial()
+	defer func() { conn.Close() }()
+
+	// One monitor tick: a liveness Echo with a bounded deadline, so a
+	// dead peer surfaces as an error within the tick instead of a hang.
+	tick := func() error {
+		conn.SetDeadline(time.Now().Add(200 * time.Millisecond))
+		defer conn.SetDeadline(time.Time{})
+		return client.Echo([]byte("monitor"))
+	}
+
+	if err := tick(); err != nil {
+		t.Fatalf("monitor tick on a healthy channel: %v", err)
+	}
+	for _, ev := range sched {
+		switch ev.Kind {
+		case faults.LinkDown:
+			conn.Close() // the wire is cut
+			if err := tick(); err == nil {
+				t.Fatalf("monitor missed the disconnect at %v", ev.At)
+			}
+		case faults.LinkUp:
+			conn, client = dial()
+			if err := tick(); err != nil {
+				t.Fatalf("monitor still failing after reconnect at %v: %v", ev.At, err)
+			}
+			// The restored channel is fully functional, not just echoing.
+			if err := client.Barrier(); err != nil {
+				t.Fatalf("barrier after reconnect: %v", err)
+			}
+		}
+	}
+}

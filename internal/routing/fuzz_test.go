@@ -1,0 +1,98 @@
+package routing
+
+// FuzzFIBLookup: the compiled FIB must agree with the reference
+// Routes.Lookup on EVERY (switch, inPort, dst, tag) tuple — including
+// hostile ones (negative IDs, out-of-range vertices, absurd tags) —
+// across every Table III strategy and a manual rule set exercising the
+// spill and overflow paths. The differential tests in fib_test.go pin
+// the reachable tuples; the fuzzer hunts the unreachable corners.
+// CI runs this as a smoke (`go test -fuzz=FuzzFIBLookup -fuzztime=10s`).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/openflow"
+	"repro/internal/topology"
+)
+
+// fuzzCtx is one (topology, routes) pair with its FIB pre-compiled.
+type fuzzCtx struct {
+	name   string
+	routes *Routes
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzCtxs []fuzzCtx
+)
+
+func fuzzContexts(f *testing.F) []fuzzCtx {
+	fuzzOnce.Do(func() {
+		for _, g := range []*topology.Graph{
+			topology.FatTree(4),
+			topology.Dragonfly(4, 9, 2, 1),
+			topology.Torus2D(4, 4, 1),
+			topology.Mesh2D(3, 3, 1),
+		} {
+			r, err := ForTopology(g).Compute(g)
+			if err != nil {
+				f.Fatal(err)
+			}
+			r.Prime()
+			fuzzCtxs = append(fuzzCtxs, fuzzCtx{name: g.Name, routes: r})
+		}
+		// A manual set with qualified rules (spill path) and rules whose
+		// IDs fall outside the dense FIB array (overflow map).
+		g := topology.Line(4, 1)
+		m := NewManualRoutes(g, "fuzz-manual", 2)
+		m.AddRule(Rule{Switch: 0, Dst: 4, Tag: openflow.Any, OutPort: 1, NewTag: -1})
+		m.AddRule(Rule{Switch: 0, InPort: 2, Dst: 4, Tag: openflow.Any, OutPort: 3, NewTag: -1})
+		m.AddRule(Rule{Switch: 1, Dst: 5, Tag: 1, OutPort: 2, NewTag: 0})
+		m.AddRule(Rule{Switch: 1, Dst: 5, Tag: openflow.Any, OutPort: 4, NewTag: 1})
+		m.AddRule(Rule{Switch: 99, Dst: 120, Tag: openflow.Any, OutPort: 7, NewTag: -1})
+		m.AddRule(Rule{Switch: -3, Dst: 2, Tag: openflow.Any, OutPort: 9, NewTag: -1})
+		m.Prime()
+		fuzzCtxs = append(fuzzCtxs, fuzzCtx{name: "manual", routes: m})
+	})
+	return fuzzCtxs
+}
+
+func FuzzFIBLookup(f *testing.F) {
+	ctxs := fuzzContexts(f)
+	f.Add(uint8(0), 0, 0, 5, 0)
+	f.Add(uint8(1), 3, 1, 40, 1)
+	f.Add(uint8(2), 7, 2, 17, 2)
+	f.Add(uint8(3), 4, 0, 9, 0)
+	f.Add(uint8(4), 99, 0, 120, 5)
+	f.Add(uint8(4), -3, -1, 2, -7)
+	f.Fuzz(func(t *testing.T, sel uint8, sw, inPort, dst, tag int) {
+		ctx := ctxs[int(sel)%len(ctxs)]
+		r := ctx.routes
+		rule := r.Lookup(sw, inPort, dst, tag)
+		out, newTag, ok := r.FIB().Forward(sw, inPort, dst, tag)
+		if rule == nil {
+			if ok {
+				t.Fatalf("%s: FIB forwards (%d,%d,%d,%d) -> (%d,%d) but Lookup misses",
+					ctx.name, sw, inPort, dst, tag, out, newTag)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("%s: Lookup hits rule %+v for (%d,%d,%d,%d) but FIB misses",
+				ctx.name, *rule, sw, inPort, dst, tag)
+		}
+		wantTag := tag
+		if rule.NewTag >= 0 {
+			wantTag = rule.NewTag
+		}
+		if out != rule.OutPort || newTag != wantTag {
+			t.Fatalf("%s: (%d,%d,%d,%d): FIB (%d,%d) != Lookup (%d,%d)",
+				ctx.name, sw, inPort, dst, tag, out, newTag, rule.OutPort, wantTag)
+		}
+		// FIB.Rule must return the very rule Lookup matched.
+		if got := r.FIB().Rule(sw, inPort, dst, tag); got != rule {
+			t.Fatalf("%s: FIB.Rule returned %+v, Lookup %+v", ctx.name, got, rule)
+		}
+	})
+}

@@ -1,0 +1,283 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// edgeOf resolves the edge a rule's egress rides (-1 when the port
+// leads nowhere, e.g. a rule at an out-of-range switch).
+func edgeOf(g *topology.Graph, csr *topology.CSR, r *Rule) int {
+	if r.Switch < 0 || r.Switch >= len(g.Vertices) {
+		return -1
+	}
+	lo, hi := csr.Row(r.Switch)
+	for e := lo; e < hi; e++ {
+		if int(csr.Port[e]) == r.OutPort {
+			return int(csr.Edge[e])
+		}
+	}
+	return -1
+}
+
+func TestRepairAvoidingReroutesAroundDeadEdge(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.FatTree(4),
+		topology.Dragonfly(4, 9, 2, 1),
+		topology.Torus2D(4, 4, 1),
+	} {
+		orig, err := ForTopology(g).Compute(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr := g.CSR()
+		// Fail the first switch-switch edge some rule actually uses.
+		dead := -1
+		for i := range orig.Rules {
+			e := edgeOf(g, csr, &orig.Rules[i])
+			if e < 0 {
+				continue
+			}
+			a, b := g.Edges[e].A, g.Edges[e].B
+			if g.Vertices[a].Kind == topology.Switch && g.Vertices[b].Kind == topology.Switch {
+				dead = e
+				break
+			}
+		}
+		if dead < 0 {
+			t.Fatalf("%s: no core edge in use", g.Name)
+		}
+		out := Outage{Edge: map[int]bool{dead: true}, Switch: map[int]bool{}}
+		rules, patched := RepairAvoiding(orig, out)
+		if len(patched) == 0 {
+			t.Fatalf("%s: nothing patched for a used edge", g.Name)
+		}
+		for i := range rules {
+			if e := edgeOf(g, csr, &rules[i]); e == dead {
+				t.Fatalf("%s: repaired rule %+v still uses dead edge %d", g.Name, rules[i], dead)
+			}
+		}
+		// Patched destinations must remain reachable: walk the repaired
+		// rule set from every host toward every patched destination.
+		repaired := orig.Clone()
+		repaired.ReplaceRules(rules)
+		for _, dst := range patched {
+			for _, src := range g.Hosts() {
+				if src == dst {
+					continue
+				}
+				if !walkDelivers(t, g, csr, repaired, src, dst, out) {
+					t.Fatalf("%s: %d -> %d unreachable after repair", g.Name, src, dst)
+				}
+			}
+		}
+		// Unpatched destinations keep their original rules verbatim.
+		patchedSet := map[int]bool{}
+		for _, d := range patched {
+			patchedSet[d] = true
+		}
+		count := func(rs []Rule) map[int]int {
+			m := map[int]int{}
+			for i := range rs {
+				if !patchedSet[rs[i].Dst] {
+					m[rs[i].Dst]++
+				}
+			}
+			return m
+		}
+		oldN, newN := count(orig.Rules), count(rules)
+		for d, n := range oldN {
+			if newN[d] != n {
+				t.Fatalf("%s: healthy dst %d rule count changed %d -> %d", g.Name, d, n, newN[d])
+			}
+		}
+		// Recovery restores the original rules exactly.
+		restored, rp := RepairAvoiding(orig, Outage{})
+		if len(rp) != 0 || len(restored) != len(orig.Rules) {
+			t.Fatalf("%s: empty outage did not restore", g.Name)
+		}
+		for i := range restored {
+			if restored[i] != orig.Rules[i] {
+				t.Fatalf("%s: restored rule %d differs", g.Name, i)
+			}
+		}
+	}
+}
+
+// walkDelivers follows the rule set hop by hop from src's switch and
+// reports whether the packet reaches dst without loops, table misses,
+// or traversing a dead element.
+func walkDelivers(t *testing.T, g *topology.Graph, csr *topology.CSR, r *Routes, src, dst int, down Outage) bool {
+	t.Helper()
+	sw := g.HostSwitch(src)
+	tag := 0
+	inPort := 0
+	for hops := 0; hops < len(g.Vertices)+1; hops++ {
+		if down.Switch[sw] {
+			return false
+		}
+		rule := r.Lookup(sw, inPort, dst, tag)
+		if rule == nil {
+			return false
+		}
+		if rule.NewTag >= 0 {
+			tag = rule.NewTag
+		}
+		lo, hi := csr.Row(sw)
+		next, edge := -1, -1
+		for e := lo; e < hi; e++ {
+			if int(csr.Port[e]) == rule.OutPort {
+				next, edge = int(csr.Nbr[e]), int(csr.Edge[e])
+				break
+			}
+		}
+		if next < 0 || down.Edge[edge] {
+			return false
+		}
+		if next == dst {
+			return true
+		}
+		if g.Vertices[next].Kind != topology.Switch {
+			return false
+		}
+		// Ingress port at the next switch.
+		inPort = g.Edges[edge].PortAt(next)
+		sw = next
+	}
+	return false // loop
+}
+
+func TestRepairAvoidingDeadSwitchAndUnreachable(t *testing.T) {
+	g := topology.FatTree(4)
+	orig, err := ForTopology(g).Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := g.CSR()
+	// Kill an edge (ToR) switch: its hosts become unreachable, every
+	// other destination stays reachable.
+	var tor int = -1
+	for _, sw := range g.Switches() {
+		for _, h := range g.Hosts() {
+			if g.HostSwitch(h) == sw {
+				tor = sw
+				break
+			}
+		}
+		if tor >= 0 {
+			break
+		}
+	}
+	var attached []int
+	for _, h := range g.Hosts() {
+		if g.HostSwitch(h) == tor {
+			attached = append(attached, h)
+		}
+	}
+	if tor < 0 || len(attached) == 0 {
+		t.Fatal("no ToR with hosts found")
+	}
+	out := Outage{Edge: map[int]bool{}, Switch: map[int]bool{tor: true}}
+	rules, patched := RepairAvoiding(orig, out)
+	if len(patched) == 0 {
+		t.Fatal("dead ToR patched nothing")
+	}
+	repaired := orig.Clone()
+	repaired.ReplaceRules(rules)
+	isAttached := map[int]bool{}
+	for _, h := range attached {
+		isAttached[h] = true
+	}
+	// Hosts behind the dead ToR have no rules at live switches pointing
+	// anywhere useful: no rule for them may remain at any live switch
+	// that would reach the dead ToR... simply: they are unreachable.
+	for _, dst := range attached {
+		for _, src := range g.Hosts() {
+			if src == dst || isAttached[src] {
+				continue
+			}
+			if walkDelivers(t, g, csr, repaired, src, dst, out) {
+				t.Fatalf("host %d behind dead ToR still reachable from %d", dst, src)
+			}
+		}
+	}
+	// Every other pair still delivers.
+	for _, dst := range g.Hosts() {
+		if isAttached[dst] {
+			continue
+		}
+		for _, src := range g.Hosts() {
+			if src == dst || isAttached[src] {
+				continue
+			}
+			if !walkDelivers(t, g, csr, repaired, src, dst, out) {
+				t.Fatalf("%d -> %d broken by unrelated ToR death", src, dst)
+			}
+		}
+	}
+}
+
+// TestRepairAvoidingParallelEdges: with two parallel edges between the
+// same switches, cutting the lower-ID one must reroute over the
+// surviving parallel edge — not re-emit the dead port (the lowest-ID
+// default of CSR.PortTo).
+func TestRepairAvoidingParallelEdges(t *testing.T) {
+	g := topology.New("parallel")
+	s1 := g.AddSwitch("s1")
+	s2 := g.AddSwitch("s2")
+	h1 := g.AddHost("h1")
+	h2 := g.AddHost("h2")
+	eLow := g.Connect(s1, s2)
+	eHigh := g.Connect(s1, s2)
+	g.Connect(s1, h1)
+	g.Connect(s2, h2)
+	orig, err := ShortestPath{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := g.CSR()
+	out := Outage{Edge: map[int]bool{eLow: true}, Switch: map[int]bool{}}
+	rules, patched := RepairAvoiding(orig, out)
+	if len(patched) == 0 {
+		t.Fatal("cutting the in-use parallel edge patched nothing")
+	}
+	for i := range rules {
+		if e := edgeOf(g, csr, &rules[i]); e == eLow {
+			t.Fatalf("repaired rule %+v rides the dead parallel edge %d", rules[i], eLow)
+		}
+	}
+	repaired := orig.Clone()
+	repaired.ReplaceRules(rules)
+	for _, pair := range [][2]int{{h1, h2}, {h2, h1}} {
+		if !walkDelivers(t, g, csr, repaired, pair[0], pair[1], out) {
+			t.Fatalf("%d -> %d unreachable despite the healthy parallel edge %d",
+				pair[0], pair[1], eHigh)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := topology.FatTree(4)
+	orig, err := ForTopology(g).Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Prime()
+	c := orig.Clone()
+	if len(c.Rules) != len(orig.Rules) || c.Strategy != orig.Strategy || c.NumVCs != orig.NumVCs {
+		t.Fatal("clone lost fields")
+	}
+	before := len(orig.Rules)
+	c.ReplaceRules(append([]Rule(nil), c.Rules[:10]...))
+	if len(orig.Rules) != before {
+		t.Fatal("mutating the clone touched the original")
+	}
+	// The original's FIB still answers like before.
+	if orig.FIB() == nil || c.FIB() == nil {
+		t.Fatal("FIB lost")
+	}
+	if orig.FIB() == c.FIB() {
+		t.Fatal("clone shares the compiled FIB")
+	}
+}

@@ -52,6 +52,24 @@
 //	res, err := sdt.Run(ctx, tb, sdt.Scenario{Topo: topo, Flows: fs.Flows})
 //	fct := sdt.MeasureFCT(fs.Flows, 10e9, 0, nil) // per-bucket p50/p95/p99
 //
+// A Scenario can also carry a FaultSpec — seeded, deterministic link
+// and switch failures (one-shot events or MTBF/MTTR flaps). Dead
+// elements drop traversing packets; the controller reroute notices
+// after the spec's repair latency and patches the live FIB around the
+// outage (healthy destinations keep their strategy routes, broken ones
+// move to shortest paths on the surviving fabric, and recovery
+// restores the originals). The result reports packets lost,
+// reconvergence time per fault, and route churn:
+//
+//	link := sdt.PickCoreEdges(topo, 1, 7)[0]
+//	res, err := sdt.Run(ctx, tb, sdt.Scenario{
+//		Topo: topo, Flows: fs.Flows,
+//		Faults: &sdt.FaultSpec{Events: []sdt.FaultEvent{
+//			{At: sdt.Millisecond, Kind: sdt.FaultLinkDown, Elem: link},
+//		}},
+//	})
+//	res.Recovery.Format(os.Stdout) // repair + reconvergence per fault
+//
 // The older positional entry points (Testbed.RunTrace,
 // Testbed.RunBatch) remain as deprecated thin wrappers over Run/Sweep
 // and produce identical results.
@@ -64,6 +82,7 @@ package sdt
 import (
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/partition"
@@ -317,6 +336,47 @@ var (
 // FCTReport is the bucketed flow-completion-time summary of a finished
 // open-loop run: per size bucket, FCT and slowdown percentiles.
 type FCTReport = telemetry.FCTReport
+
+// FaultSpec schedules link/switch failures during a run: one-shot
+// timed events plus seeded MTBF/MTTR flap processes. Attach one via
+// Scenario.Faults — dead elements drop traversing packets, the
+// controller reroute patches the live FIB after the spec's repair
+// latency, and the RunResult carries FaultDrops, Incomplete, and
+// Recovery. Equal specs expand to byte-identical schedules.
+type FaultSpec = faults.Spec
+
+// FaultEvent is one scheduled fault: a kind, an element (edge ID for
+// link kinds, switch vertex ID for switch kinds), and an absolute
+// simulated time.
+type FaultEvent = faults.Event
+
+// FaultFlap is a repeating MTBF/MTTR failure process on one element.
+type FaultFlap = faults.Flap
+
+// Fault event kinds.
+const (
+	FaultLinkDown   = faults.LinkDown
+	FaultLinkUp     = faults.LinkUp
+	FaultSwitchDown = faults.SwitchDown
+	FaultSwitchUp   = faults.SwitchUp
+)
+
+// Fault helpers: flap constructors and deterministic failed-link
+// selection (switch-switch edges only, so destinations stay attached).
+var (
+	NewLinkFlap   = faults.LinkFlap
+	NewSwitchFlap = faults.SwitchFlap
+	CoreEdges     = faults.CoreEdges
+	PickCoreEdges = faults.PickCoreEdges
+)
+
+// Recovery summarises a fault run: per-fault repair and reconvergence
+// times, route churn, packets lost, and incomplete flows (available as
+// RunResult.Recovery).
+type Recovery = telemetry.Recovery
+
+// RecoveryEvent is the lifecycle of one fault in a Recovery.
+type RecoveryEvent = telemetry.RecoveryEvent
 
 // MeasureFCT buckets a finished flow schedule into FCT/slowdown
 // percentiles per flow-size bucket.
