@@ -13,6 +13,8 @@
 //	sdtbench -exp table4 -ranks 16
 //	sdtbench -exp fig13 -bytes 524288 -reps 8
 //	sdtbench -exp loadgen-sweep -seed 7 -parallel 0
+//	sdtbench -exp loadgen-sweep -shards 4
+//	sdtbench -exp shard-scale
 //	sdtbench -exp all -json > bench.json
 //
 // -list prints every registered scenario set with its one-line
@@ -23,6 +25,11 @@
 // worker (0 = all cores). Simulated results are identical at any
 // worker count; only the wall-clock columns of fig13/table4 (the
 // simulator's own evaluation time) should be read from serial runs.
+//
+// -shards K splits each simulation across K conservative shard engines
+// (core.WithShards): deterministic per shard count, serial fallback
+// for runs the executor cannot shard (faults, SDT-mode jobs,
+// hand-driven sets). Composes with -parallel.
 //
 // -json suppresses the human-readable tables and instead emits one
 // machine-readable JSON document with per-experiment wall-clock and
@@ -53,6 +60,9 @@ type expResult struct {
 	WallMs     float64 `json:"wall_ms"`
 	Allocs     uint64  `json:"allocs"`
 	AllocBytes uint64  `json:"alloc_bytes"`
+	// Metrics carries named scalars the experiment recorded itself
+	// (experiments.RecordMetric) — e.g. shard-scale's speedup factors.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchReport is the top-level -json document.
@@ -66,7 +76,7 @@ type benchReport struct {
 
 func main() {
 	names := experiments.Names()
-	exp := flag.String("exp", "all", "experiment: "+strings.Join(names, "|")+"|all")
+	exp := flag.String("exp", "all", "experiment (comma-separated): "+strings.Join(names, "|")+"|all")
 	ranks := flag.Int("ranks", 16, "MPI ranks for table4")
 	reps := flag.Int("reps", 8, "repetitions (fig11 pingpongs / fig13 alltoall rounds)")
 	bytes := flag.Int("bytes", 256*1024, "message bytes for fig13 / active routing")
@@ -76,6 +86,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "loadgen schedule seed (equal seeds rerun byte-identical)")
 	flows := flag.Int("flows", 0, "loadgen flows per grid cell (0 = experiment default)")
 	load := flag.Float64("load", 0, "loadgen-incast victim load factor (0 = 0.8)")
+	shards := flag.Int("shards", 0, "intra-run shard engines per simulation (0/1 = serial; ineligible runs fall back)")
 	nFaults := flag.Int("faults", 0, "faults-sweep link-failure count per cell (0 = the {1,2,4} grid)")
 	mtbf := flag.Float64("mtbf", 0, "faults-flap link MTBF in ms, MTTR = MTBF/4 (0 = the {1,2,4,8} ms grid)")
 	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
@@ -99,6 +110,7 @@ func main() {
 		Seed:     *seed,
 		Flows:    *flows,
 		Load:     *load,
+		Shards:   *shards,
 		Faults:   *nFaults,
 		MTBF:     netsim.Time(*mtbf * float64(netsim.Millisecond)),
 	}
@@ -107,12 +119,15 @@ func main() {
 	if *exp == "all" {
 		selected = experiments.All()
 	} else {
-		e, ok := experiments.Lookup(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", *exp)
-			os.Exit(2)
+		// -exp takes a comma-separated list: fig12,shard-scale runs both.
+		for _, name := range strings.Split(*exp, ",") {
+			e, ok := experiments.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
 		}
-		selected = []experiments.Entry{e}
 	}
 
 	// Ctrl-C cancels the in-flight simulation mid-run (the engine polls
@@ -162,12 +177,16 @@ func measure(ctx context.Context, e experiments.Entry, p experiments.Params) (ex
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return expResult{
+	res := expResult{
 		Experiment: e.Name,
 		WallMs:     float64(wall.Microseconds()) / 1000,
 		Allocs:     after.Mallocs - before.Mallocs,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
-	}, nil
+	}
+	if m := experiments.TakeMetrics(); len(m) > 0 {
+		res.Metrics = m
+	}
+	return res, nil
 }
 
 func fatal(name string, err error) {

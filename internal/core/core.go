@@ -106,6 +106,12 @@ type RunResult struct {
 	Incomplete int
 	// Recovery carries the per-fault repair and reconvergence metrics.
 	Recovery *telemetry.Recovery
+
+	// Shards is the effective intra-run shard count the simulation
+	// executed with: 1 for a serial run (including every automatic
+	// fallback), K for a conservative parallel run. Counters above are
+	// already merged across shards.
+	Shards int
 }
 
 // Network builds the netsim fabric for a topology in the given mode,
@@ -118,6 +124,23 @@ func (tb *Testbed) Network(g *topology.Graph, strat routing.Strategy, mode Mode)
 // network is Network with an explicit fabric configuration — the
 // WithSimConfig override path, which must not mutate tb.Cfg.
 func (tb *Testbed) network(g *topology.Graph, strat routing.Strategy, mode Mode, cfg netsim.Config) (*netsim.Network, *controller.Deployment, error) {
+	fwd, dep, crossbarOf, sdtExtra, err := tb.forwarder(g, strat, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := netsim.NewNetwork(g, fwd, cfg, crossbarOf, sdtExtra)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, dep, nil
+}
+
+// forwarder computes the compiled forwarding state for a run in the
+// given mode: the primed route forwarder, plus — for SDT — the live
+// deployment and its crossbar grouping. Both the serial and the
+// sharded execution paths build fabrics over this one route
+// computation, so route semantics cannot drift between them.
+func (tb *Testbed) forwarder(g *topology.Graph, strat routing.Strategy, mode Mode) (netsim.RouteForwarder, *controller.Deployment, func(int) int, bool, error) {
 	if strat == nil {
 		strat = routing.ForTopology(g)
 	}
@@ -130,7 +153,7 @@ func (tb *Testbed) network(g *topology.Graph, strat routing.Strategy, mode Mode,
 		// from strat here would be discarded work on the sweep hot path.
 		var err error
 		if dep, err = tb.ensureDeployment(g, strat); err != nil {
-			return nil, nil, err
+			return netsim.RouteForwarder{}, nil, nil, false, err
 		}
 		crossbarOf = dep.Plan.CrossbarOf
 		sdtExtra = true
@@ -138,19 +161,15 @@ func (tb *Testbed) network(g *topology.Graph, strat routing.Strategy, mode Mode,
 	} else {
 		var err error
 		if routes, err = strat.Compute(g); err != nil {
-			return nil, nil, err
+			return netsim.RouteForwarder{}, nil, nil, false, err
 		}
 	}
-	// The network's route set may be shared across concurrent
-	// simulations; make sure its lazy lookup index and compiled FIB
-	// exist before the fabric starts forwarding. (No-op for SDT: Deploy
-	// already primed.)
+	// The route set may be shared across concurrent simulations (sweep
+	// siblings, shard engines); make sure its lazy lookup index and
+	// compiled FIB exist before any fabric starts forwarding. (No-op
+	// for SDT: Deploy already primed.)
 	routes.Prime()
-	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(routes), cfg, crossbarOf, sdtExtra)
-	if err != nil {
-		return nil, nil, err
-	}
-	return net, dep, nil
+	return netsim.NewRouteForwarder(routes), dep, crossbarOf, sdtExtra, nil
 }
 
 // ensureDeployment returns the live SDT deployment for g, deploying it

@@ -58,6 +58,19 @@ type Scenario struct {
 	// loses a packet still fails with "did not complete", since
 	// closed-loop replay cannot progress past a lost message.
 	Faults *faults.Spec
+	// Shards splits this run across k parallel engines under the
+	// conservative executor (internal/shard): the topology is
+	// partitioned switch-wise and the shards advance in lock-step safe
+	// windows one link propagation delay wide. 0 or 1 runs serially.
+	// For a fixed shard count the output is byte-identical across
+	// reruns and worker counts, and Shards=1 is byte-identical to the
+	// serial engine; different shard counts are distinct deterministic
+	// schedules (K is part of the determinism key). Runs that need
+	// whole-fabric mutation or observation fall back to serial
+	// automatically: fault injection, SDT projection (shared
+	// crossbars), Tick observers (including WithTelemetry), and
+	// zero-propagation-delay fabrics. WithShards overrides this field.
+	Shards int
 }
 
 // Hooks observes one run's lifecycle. Any field may be nil. Tick fires
@@ -88,6 +101,7 @@ type runConfig struct {
 	deadline    time.Time
 	hasDeadline bool
 	workers     int
+	shards      int
 }
 
 // newRunConfig applies opts over the defaults (serial sweep, no
@@ -147,4 +161,15 @@ func WithDeadline(t time.Time) Option {
 // 0 means all cores, 1 (the default) runs serially. Run ignores it.
 func WithWorkers(n int) Option {
 	return func(c *runConfig) { c.workers = n }
+}
+
+// WithShards runs each simulation of the invocation across k parallel
+// shard engines under the conservative executor (see Scenario.Shards
+// for the determinism contract and the serial-fallback conditions). 0
+// defers to the scenario's Shards field; 1 forces serial. The
+// effective shard count is capped at the topology's switch count.
+// Intra-run sharding composes with WithWorkers: a sweep fans out
+// simulations and each simulation may itself be sharded.
+func WithShards(k int) Option {
+	return func(c *runConfig) { c.shards = k }
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -119,6 +120,16 @@ func WatchCancel(ctx context.Context, sim *netsim.Sim) (release func()) {
 	}
 	var flag atomic.Bool
 	sim.SetStop(&flag, 0)
+	stop := watchFlag(ctx, &flag)
+	return func() {
+		stop()
+		sim.SetStop(nil, 0)
+	}
+}
+
+// watchFlag raises flag when ctx ends; the returned func retires the
+// watcher goroutine.
+func watchFlag(ctx context.Context, flag *atomic.Bool) func() {
 	done := make(chan struct{})
 	go func() {
 		select {
@@ -127,10 +138,44 @@ func WatchCancel(ctx context.Context, sim *netsim.Sim) (release func()) {
 		case <-done:
 		}
 	}()
-	return func() {
-		close(done)
-		sim.SetStop(nil, 0)
+	return func() { close(done) }
+}
+
+// effectiveShards resolves the shard count one run executes with: the
+// WithShards override, else the scenario's Shards field, clamped to
+// the topology's switch count, and forced to 1 (serial) whenever the
+// scenario needs whole-fabric mutation or mid-run observation that the
+// conservative executor cannot shard:
+//
+//   - fault injection (SetLinkDown/SetSwitchDown touch links across
+//     shards, and the rerouter patches shared forwarding state mid-run),
+//   - SDT projection (sub-switches share physical crossbars),
+//   - Tick observers, WithTelemetry included (they read cross-shard
+//     state at simulated times the other shards haven't reached),
+//   - zero propagation delay (no lookahead, no safe window).
+func effectiveShards(sc Scenario, cfg *runConfig, simCfg netsim.Config, g *topology.Graph) int {
+	k := cfg.shards
+	if k == 0 {
+		k = sc.Shards
 	}
+	if k < 1 {
+		k = 1
+	}
+	if sw := len(g.Switches()); k > sw {
+		k = sw
+	}
+	if k == 1 {
+		return 1
+	}
+	if sc.Faults != nil || sc.Mode == SDT || simCfg.PropDelay <= 0 {
+		return 1
+	}
+	for _, h := range cfg.observers {
+		if h.Tick != nil {
+			return 1
+		}
+	}
+	return k
 }
 
 // scenarioWorkload names a scenario's workload and derives its rank
@@ -196,8 +241,26 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	if sc.SimConfig != nil {
 		simCfg = *sc.SimConfig
 	}
-	net, dep, err := tb.network(g, sc.Strategy, sc.Mode, simCfg)
-	if err != nil {
+	shards := effectiveShards(sc, cfg, simCfg, g)
+	var (
+		net *netsim.Network
+		dep *controller.Deployment
+		ex  *shard.Executor
+		err error
+	)
+	if shards > 1 {
+		// Conservative parallel path: one fabric, K engines. The
+		// forwarder comes from the same route computation the serial
+		// path uses, so both paths forward identically.
+		fwd, _, _, _, ferr := tb.forwarder(g, sc.Strategy, sc.Mode)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if ex, err = shard.New(g, fwd, simCfg, shards, shard.Options{}); err != nil {
+			return nil, err
+		}
+		net = ex.Primary()
+	} else if net, dep, err = tb.network(g, sc.Strategy, sc.Mode, simCfg); err != nil {
 		return nil, err
 	}
 	var app interface {
@@ -219,14 +282,42 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 		}
 	}
 	armTicks(net, app, cfg.observers)
-	release := WatchCancel(ctx, net.Sim)
+	var release func()
+	if ex != nil {
+		var flag atomic.Bool
+		ex.SetStop(&flag)
+		if ctx != nil && ctx.Done() != nil {
+			release = watchFlag(ctx, &flag)
+		} else {
+			release = func() {}
+		}
+	} else {
+		release = WatchCancel(ctx, net.Sim)
+	}
 	wallStart := time.Now()
 	app.Start()
-	net.Sim.Run(0)
+	if ex != nil {
+		ex.Run()
+	} else {
+		net.Sim.Run(0)
+	}
 	release()
 	wall := time.Since(wallStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Merge fabric counters (a serial run is the K=1 merge).
+	var drops, pauses, ecn, faultDrops, events int64
+	nets := []*netsim.Network{net}
+	if ex != nil {
+		nets = ex.Nets
+	}
+	for _, sn := range nets {
+		drops += sn.TotalDrops
+		pauses += sn.PausesSent
+		ecn += sn.EcnMarks
+		faultDrops += sn.FaultDrops
+		events += sn.Sim.Events()
 	}
 	act := app.ACT()
 	incomplete := 0
@@ -234,7 +325,7 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 		fa, isFlows := app.(*netsim.FlowApp)
 		if sc.Faults == nil || !isFlows {
 			return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d faultdrops=%d",
-				name, g.Name, sc.Mode, net.TotalDrops, net.FaultDrops)
+				name, g.Name, sc.Mode, drops, faultDrops)
 		}
 		// Open-loop flows under faults: packet loss is a result, not an
 		// error. ACT degrades to the last completed flow.
@@ -243,8 +334,9 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	}
 	res := &RunResult{
 		Mode: sc.Mode, ACT: act, Wall: wall,
-		Drops: net.TotalDrops, Pauses: net.PausesSent, EcnMarks: net.EcnMarks,
-		Events: net.Sim.Events(), FaultDrops: net.FaultDrops, Incomplete: incomplete,
+		Drops: drops, Pauses: pauses, EcnMarks: ecn,
+		Events: events, FaultDrops: faultDrops, Incomplete: incomplete,
+		Shards: shards,
 	}
 	if tracker != nil {
 		res.Recovery = tracker.Report(incomplete)

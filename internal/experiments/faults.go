@@ -148,7 +148,7 @@ func FaultSweep(ctx context.Context, p Params) (*FaultSweepResult, error) {
 			}
 		}
 	}
-	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers), core.WithShards(p.Shards))
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +322,7 @@ func FaultFlap(ctx context.Context, p Params) (*FaultFlapResult, error) {
 			Topo: g, Flows: fs.Flows, Mode: core.FullTestbed, Hosts: hosts, Faults: spec,
 		}})
 	}
-	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers), core.WithShards(p.Shards))
 	if err != nil {
 		return nil, err
 	}

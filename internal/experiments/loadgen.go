@@ -124,7 +124,7 @@ func LoadSweep(ctx context.Context, p Params) (*LoadSweepResult, error) {
 			}
 		}
 	}
-	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers), core.WithShards(p.Shards))
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +222,7 @@ func LoadIncast(ctx context.Context, p Params) (*LoadIncastResult, error) {
 			Topo: g, Flows: fs.Flows, Mode: core.FullTestbed,
 		}})
 	}
-	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers), core.WithShards(p.Shards))
 	if err != nil {
 		return nil, err
 	}

@@ -16,7 +16,7 @@ import (
 func init() {
 	Register(50, "table4", "Table IV: application ACTs on SDT vs the simulator",
 		func(ctx context.Context, p Params, w io.Writer) error {
-			r, err := Table4(ctx, p.Ranks, nil, p.Workers)
+			r, err := Table4(ctx, p.Ranks, nil, p.Workers, core.WithShards(p.Shards))
 			if err != nil {
 				return err
 			}
@@ -69,7 +69,9 @@ func table4Topologies() []*topology.Graph {
 // mutates the controller; afterwards it is read-only) — so the
 // deterministic columns (ACTs, deviation, SDT evaluation time) are
 // identical at any worker count.
-func Table4(ctx context.Context, ranks int, apps []string, workers int) (*Table4Result, error) {
+// Trailing opts (e.g. core.WithShards) apply to every job of the
+// sweep.
+func Table4(ctx context.Context, ranks int, apps []string, workers int, opts ...core.Option) (*Table4Result, error) {
 	if ranks <= 0 {
 		ranks = 16
 	}
@@ -106,7 +108,7 @@ func Table4(ctx context.Context, ranks int, apps []string, workers int) (*Table4
 			}
 		}
 	}
-	results, err := core.Sweep(ctx, jobs, core.WithWorkers(workers))
+	results, err := core.Sweep(ctx, jobs, append([]core.Option{core.WithWorkers(workers)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,11 @@ package netsim
 // traces collected from running an HPC application on real computing
 // nodes").
 
-import "repro/internal/engine"
+import (
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
 
 // OpKind enumerates trace operations.
 type OpKind int
@@ -41,13 +45,19 @@ type Rank struct {
 }
 
 // App is a running distributed application: one rank per host.
+//
+// In a sharded fabric each rank executes on its host's shard engine:
+// all per-rank state stays shard-local, and the only cross-shard
+// fields (nDone) are atomic, so concurrent window execution is safe.
 type App struct {
 	net    *Network
 	Ranks  []*Rank
-	nDone  int
+	nDone  atomic.Int64
 	onDone func(act Time)
 	// OnOp, when set, observes every operation as it is issued
 	// (rank index, the op, issue time) — the trace-recording hook.
+	// Serial runs only: sharded executors run ranks concurrently, so a
+	// recording hook would race.
 	OnOp func(rank int, op Op, at Time)
 }
 
@@ -68,10 +78,11 @@ func NewApp(n *Network, hosts []int, programs [][]Op, onDone func(act Time)) *Ap
 	return app
 }
 
-// Start launches all ranks at the current simulation time.
+// Start launches all ranks at the current simulation time, each on its
+// own host's engine (one shared engine in a serial fabric).
 func (a *App) Start() {
 	for _, r := range a.Ranks {
-		a.net.Sim.ScheduleAfter(0, a, engine.Event{Kind: evAppStep, Ptr: r})
+		r.host.net.Sim.ScheduleAfter(0, a, engine.Event{Kind: evAppStep, Ptr: r})
 	}
 }
 
@@ -85,9 +96,11 @@ func (a *App) OnEvent(now Time, ev engine.Event) {
 // hostOf maps a rank index to its host vertex.
 func (a *App) hostOf(rank int) int { return a.Ranks[rank].host.vertex }
 
-// step runs ops until the rank blocks or finishes.
+// step runs ops until the rank blocks or finishes. All engine access
+// goes through the rank's host network, so a rank scheduled on shard i
+// never touches another shard's clock or queue.
 func (a *App) step(r *Rank) {
-	n := a.net
+	n := r.host.net
 	for r.pc < len(r.prog) {
 		op := r.prog[r.pc]
 		r.pc++
@@ -110,8 +123,7 @@ func (a *App) step(r *Rank) {
 	if !r.Done {
 		r.Done = true
 		r.FinishedAt = n.Sim.Now()
-		a.nDone++
-		if a.nDone == len(a.Ranks) && a.onDone != nil {
+		if a.nDone.Add(1) == int64(len(a.Ranks)) && a.onDone != nil {
 			a.onDone(n.Sim.Now())
 		}
 	}

@@ -10,6 +10,7 @@ package netsim
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/engine"
 )
@@ -46,15 +47,33 @@ func (f *Flow) FCT() Time {
 // records completions. It writes results into the caller's Flow slice,
 // so the schedule can be inspected (and bucketed into FCT statistics)
 // after the run.
+//
+// In a sharded fabric injections split into one chain per shard (each
+// flow injects on its source host's engine) and completions land on
+// the destination host's engine; per-flow result fields are only ever
+// written by the destination shard, and the shared completion tallies
+// (nDone, last) are atomic.
 type FlowApp struct {
 	net    *Network
 	hosts  []int
 	flows  []Flow
 	order  []int32 // flow indices sorted by start time
-	next   int     // next entry of order to schedule
-	nDone  int
-	last   Time
+	chains []*flowChain
+	nDone  atomic.Int64
+	last   atomic.Int64 // Time of the latest completion
 	onDone func(last Time)
+}
+
+// flowChain is one shard's injection chain: the slice of the sorted
+// start order whose source hosts live on chain.net, injected by a
+// self-chaining event so each engine holds at most one pending
+// injection. A serial fabric has exactly one chain over the full
+// order, reproducing the pre-shard schedule event-for-event.
+type flowChain struct {
+	app   *FlowApp
+	net   *Network
+	order []int32
+	next  int
 }
 
 // NewFlowApp binds a flow schedule to hosts. hosts[i] is the vertex of
@@ -97,80 +116,104 @@ func NewFlowApp(n *Network, hosts []int, flows []Flow, onDone func(last Time)) *
 }
 
 // Start registers every flow's receive continuation and arms the first
-// injection. Only one injection event is pending at a time — the chain
-// schedules its successor — so the event heap stays O(1) in the flow
-// count.
+// injection of every chain. Only one injection event is pending per
+// engine at a time — each chain schedules its successor — so the event
+// heap stays O(1) in the flow count.
 func (a *FlowApp) Start() {
 	for i := range a.flows {
 		i := i
 		f := &a.flows[i]
 		dst := a.net.Host(a.hosts[f.Dst])
-		dst.Recv(a.hosts[f.Src], f.Tag, func() { a.complete(i) })
+		dst.Recv(a.hosts[f.Src], f.Tag, func() { a.complete(i, dst) })
 	}
-	a.armNext()
+	// Group the sorted order into per-engine chains (first-appearance
+	// order, deterministic). One shard => one chain over the whole
+	// order, identical to the pre-shard single-chain schedule.
+	for _, fi := range a.order {
+		src := a.net.Host(a.hosts[a.flows[fi].Src]).net
+		var c *flowChain
+		for _, cc := range a.chains {
+			if cc.net == src {
+				c = cc
+				break
+			}
+		}
+		if c == nil {
+			c = &flowChain{app: a, net: src}
+			a.chains = append(a.chains, c)
+		}
+		c.order = append(c.order, fi)
+	}
+	for _, c := range a.chains {
+		c.armNext()
+	}
 }
 
-// armNext schedules the next pending injection (flows already due
-// inject in order at the current time).
-func (a *FlowApp) armNext() {
-	if a.next >= len(a.order) {
+// armNext schedules the chain's next pending injection (flows already
+// due inject in order at the current time).
+func (c *flowChain) armNext() {
+	if c.next >= len(c.order) {
 		return
 	}
-	f := &a.flows[a.order[a.next]]
+	f := &c.app.flows[c.order[c.next]]
 	at := f.Start
-	if now := a.net.Sim.Now(); at < now {
+	if now := c.net.Sim.Now(); at < now {
 		at = now
 	}
-	a.net.Sim.Schedule(at, a, engine.Event{Kind: evFlowStart, A: int64(a.next)})
+	c.net.Sim.Schedule(at, c, engine.Event{Kind: evFlowStart, A: int64(c.next)})
 }
 
 // OnEvent injects the due flow and chains to the next one.
-func (a *FlowApp) OnEvent(now Time, ev engine.Event) {
+func (c *flowChain) OnEvent(now Time, ev engine.Event) {
 	if ev.Kind != evFlowStart {
 		return
 	}
-	f := &a.flows[a.order[ev.A]]
+	a := c.app
+	f := &a.flows[c.order[ev.A]]
 	a.net.Host(a.hosts[f.Src]).Send(a.hosts[f.Dst], f.Tag, f.Bytes)
-	a.next++
-	a.armNext()
+	c.next++
+	c.armNext()
 }
 
-// complete records one flow's delivery.
-func (a *FlowApp) complete(i int) {
+// complete records one flow's delivery at its destination host (whose
+// engine's clock stamps the completion).
+func (a *FlowApp) complete(i int, dst *Host) {
 	f := &a.flows[i]
 	if f.Completed {
 		return
 	}
 	f.Completed = true
-	f.End = a.net.Sim.Now()
-	a.nDone++
-	if f.End > a.last {
-		a.last = f.End
+	f.End = dst.net.Sim.Now()
+	for {
+		cur := a.last.Load()
+		if int64(f.End) <= cur || a.last.CompareAndSwap(cur, int64(f.End)) {
+			break
+		}
 	}
-	if a.nDone == len(a.flows) && a.onDone != nil {
-		a.onDone(a.last)
+	if a.nDone.Add(1) == int64(len(a.flows)) && a.onDone != nil {
+		a.onDone(Time(a.last.Load()))
 	}
 }
 
 // Completed reports how many flows have finished.
-func (a *FlowApp) Completed() int { return a.nDone }
+func (a *FlowApp) Completed() int { return int(a.nDone.Load()) }
 
 // Outstanding reports how many flows have not finished.
-func (a *FlowApp) Outstanding() int { return len(a.flows) - a.nDone }
+func (a *FlowApp) Outstanding() int { return len(a.flows) - a.Completed() }
 
 // LastCompletion returns the time of the latest completed flow (0 when
 // none completed) regardless of whether the whole schedule finished —
 // the partial-completion ACT a fault run reports when packet loss
 // leaves flows incomplete.
-func (a *FlowApp) LastCompletion() Time { return a.last }
+func (a *FlowApp) LastCompletion() Time { return Time(a.last.Load()) }
 
 // ACT returns the time the last flow completed, or -1 while any flow
 // is outstanding — the same contract as App.ACT, so the run loop
 // treats trace replay and flow schedules uniformly. An empty schedule
 // is complete at time 0.
 func (a *FlowApp) ACT() Time {
-	if a.nDone < len(a.flows) {
+	if a.Completed() < len(a.flows) {
 		return -1
 	}
-	return a.last
+	return Time(a.last.Load())
 }

@@ -82,7 +82,10 @@ func (s *SimSwitch) enqueue(o *OutPort, inPort, arrCls int, pkt *Packet) {
 			up := s.upstream[inPort]
 			if up != nil {
 				n.PausesSent++
-				n.Sim.ScheduleAfter(n.Cfg.PropDelay+500*Nanosecond, n, engine.Event{
+				// The pause frame flies >= PropDelay, so a cross-shard
+				// upstream port receives it via the hand-off outside the
+				// current safe window.
+				n.schedTo(up.net, n.Sim.Now()+n.Cfg.PropDelay+500*Nanosecond, engine.Event{
 					Kind: evPfcPause, Ptr: up, A: int64(arrCls),
 				})
 			}

@@ -86,6 +86,16 @@ func (g *workGraph) sortAdj() {
 // Cut partitions the switch graph of g into k parts. It mirrors the
 // paper's Cut(G(E,V), params...) function: input logical topology plus
 // switch count, output a partitioning that satisfies the objective.
+//
+// Cut is deterministic: all randomness flows from Options.Seed (0 maps
+// to a fixed default), adjacency lists are sorted so the result is
+// independent of map iteration order, and no goroutines are spawned —
+// the same (g, k, opt) always yields a byte-identical Result,
+// regardless of GOMAXPROCS or rerun count. Downstream consumers rely
+// on this: the sharded simulation executor (internal/shard) derives
+// its shard assignment and cross-shard queue layout from the Result,
+// so a nondeterministic Cut would break the executor's fixed-K
+// byte-identity guarantee.
 func Cut(g *topology.Graph, k int, opt Options) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k = %d must be >= 1", k)

@@ -1,0 +1,357 @@
+// Package shard executes one netsim fabric as K parallel discrete-
+// event engines under a conservative, null-message-free synchronization
+// protocol — the intra-run parallelism that lets a single large
+// simulation use more than one core (sweeps were already
+// embarrassingly parallel; this parallelises the run itself).
+//
+// # Protocol
+//
+// The topology is split by partition.Cut — the same multilevel K-way
+// partitioner multi-switch SDT uses for projection — so the links cut
+// by the partition (weighted by parallel-link multiplicity, i.e. the
+// partition Result's InterSwitchDemand) are as few as possible. Every
+// device then lives on exactly one shard engine, and the only
+// cross-shard interactions are events travelling over cut links: wire
+// arrivals and PFC pause/resume frames. All of these are in flight for
+// at least one link propagation delay, so the minimum propagation
+// delay across cut links is a global lookahead L: no event executed in
+// the window [T, T+L) can schedule work on another shard earlier than
+// T+L. The executor therefore advances all shards in lock-step safe
+// windows of width L — no null messages, one barrier per window:
+//
+//  1. inject the previous window's handed-off events, sorted by
+//     (time, source shard, hand-off order);
+//  2. T = min over shards of the earliest pending event; stop when
+//     every queue is empty;
+//  3. run every shard concurrently to its local horizon T+L-1 (times
+//     are integer picoseconds, so this executes exactly [T, T+L));
+//  4. barrier; collect the hand-offs produced during the window.
+//
+// Hand-offs travel through per-(source, destination) single-producer/
+// single-consumer buffers: only the source shard's worker appends
+// during a window, and only the coordinator drains between windows, so
+// the buffers need no locks — the window barrier is the only
+// synchronization.
+//
+// # Determinism
+//
+// For a fixed shard count K, a run is byte-identical across reruns and
+// across physical worker counts (Options.Workers, GOMAXPROCS): each
+// shard's engine is sequential and deterministic within a window, and
+// the injection sort order (time, source shard, hand-off order) fixes
+// the merged schedule regardless of which worker finished first. K
+// itself is part of the determinism key — K=1 is bit-identical to the
+// serial engine, while different K>1 values interleave equal-time
+// events (and draw per-shard ECN randomness) differently, each
+// reproducibly. See DESIGN.md "Conservative sharded execution".
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Options tunes the executor. The zero value is usable: the partition
+// seed defaults to the partitioner's fixed seed and every shard gets
+// its own worker goroutine.
+type Options struct {
+	// Workers caps how many shards execute concurrently inside one
+	// window (0 or >= K means one worker per shard). Lower values trade
+	// wall-clock for CPU; the merged output is byte-identical for every
+	// setting — physical parallelism is not part of the determinism
+	// key.
+	Workers int
+	// PartSeed overrides the partitioner's tie-breaking seed (0 = the
+	// partitioner's fixed default). The seed participates in the
+	// determinism key exactly like K: a different partition is a
+	// different (deterministic) event interleaving.
+	PartSeed int64
+}
+
+// handoff is one cross-shard event in flight between windows.
+type handoff struct {
+	at netsim.Time
+	ev engine.Event
+}
+
+// doneCell is a worker's per-window completion flag, padded to a cache
+// line so worker completions don't false-share.
+type doneCell struct {
+	seq atomic.Uint64
+	_   [56]byte
+}
+
+// Executor runs one sharded fabric. Build one with New, drive traffic
+// through the shard networks (Nets share the fabric's device arrays,
+// so netsim applications bound to any of them reach every host), then
+// call Run.
+type Executor struct {
+	// Nets are the K shard networks over one shared fabric. Nets[0] is
+	// the primary: whole-fabric views (LinkLoads, Host lookups) work
+	// from any shard, and post-run counter merging sums across all K.
+	Nets []*netsim.Network
+	// K is the shard count (fixed at New; part of the determinism key).
+	K int
+	// Part is the partition that assigned devices to shards.
+	Part *partition.Result
+	// Lookahead is the conservative window width: the minimum link
+	// propagation delay across cut links (0 when nothing is cut).
+	Lookahead netsim.Time
+	// CutLinks counts directed links whose endpoints live on different
+	// shards — every cross-shard event crosses one of these.
+	CutLinks int
+
+	workers  int
+	stopFlag *atomic.Bool
+	stopped  bool
+
+	// hand[src][dst] is the SPSC hand-off buffer: appended by shard
+	// src's worker during a window, drained by the coordinator at the
+	// barrier.
+	hand    [][][]handoff
+	scratch []handoff
+
+	// Window barrier state: limit/closing are published by the
+	// coordinator before the windowSeq increment and read by workers
+	// after observing it.
+	limit     netsim.Time
+	closing   bool
+	windowSeq atomic.Uint64
+	done      []doneCell
+	sem       chan struct{}
+
+	windows  int64
+	handoffs int64
+}
+
+// New partitions g into k shards and builds the sharded fabric over
+// it. The partition minimises cut links (port-balanced, the paper's
+// §IV-C objective) with a fixed seed, so the same (g, k, seed) always
+// yields the same partition and hence the same execution. k must be at
+// least 1 and at most the topology's switch count; k=1 builds a fabric
+// bit-identical to netsim.NewNetwork and Run degenerates to the serial
+// engine loop.
+func New(g *topology.Graph, fwd netsim.Forwarder, cfg netsim.Config, k int, opt Options) (*Executor, error) {
+	res, err := partition.Cut(g, k, partition.Options{Seed: opt.PartSeed})
+	if err != nil {
+		return nil, err
+	}
+	nets, err := netsim.NewShardedFabric(g, fwd, cfg, res.Assign, k)
+	if err != nil {
+		return nil, err
+	}
+	x := &Executor{Nets: nets, K: k, Part: res, workers: opt.Workers}
+	x.Lookahead, x.CutLinks = nets[0].CutLookahead()
+	if x.CutLinks > 0 && x.Lookahead <= 0 {
+		return nil, fmt.Errorf("shard: zero propagation delay across cut links leaves no lookahead")
+	}
+	if x.workers <= 0 || x.workers > k {
+		x.workers = k
+	}
+	if x.workers < k {
+		x.sem = make(chan struct{}, x.workers)
+	}
+	// Pre-size the SPSC buffers from the partition's inter-shard
+	// demand: a pair cut by d logical links rarely has more than a few
+	// packets per link in flight within one lookahead.
+	demand := res.InterSwitchDemand(g)
+	x.hand = make([][][]handoff, k)
+	for s := 0; s < k; s++ {
+		x.hand[s] = make([][]handoff, k)
+		for d := 0; d < k; d++ {
+			a, b := s, d
+			if a > b {
+				a, b = b, a
+			}
+			if cut := demand[[2]int{a, b}]; cut > 0 {
+				x.hand[s][d] = make([]handoff, 0, 4*cut)
+			}
+		}
+	}
+	x.done = make([]doneCell, k)
+	for i, n := range nets {
+		src := i
+		n.SetHandoff(func(dst *netsim.Network, at netsim.Time, ev engine.Event) {
+			b := &x.hand[src][dst.Shard()]
+			*b = append(*b, handoff{at: at, ev: ev})
+		})
+	}
+	return x, nil
+}
+
+// Primary returns shard 0's network — the one to hand to netsim
+// applications and whole-fabric observers.
+func (x *Executor) Primary() *netsim.Network { return x.Nets[0] }
+
+// SetStop installs a cooperative cancellation flag on every shard
+// engine (engine-deep: each engine polls it every stop stride, and the
+// coordinator additionally checks it at every window barrier). Call
+// before Run.
+func (x *Executor) SetStop(flag *atomic.Bool) {
+	x.stopFlag = flag
+	for _, n := range x.Nets {
+		n.Sim.SetStop(flag, 0)
+	}
+}
+
+// Stopped reports whether the last Run ended on the stop flag rather
+// than by draining every shard's queue.
+func (x *Executor) Stopped() bool { return x.stopped }
+
+// Events returns the total events executed across all shards.
+func (x *Executor) Events() int64 {
+	var n int64
+	for _, net := range x.Nets {
+		n += net.Sim.Events()
+	}
+	return n
+}
+
+// Windows reports how many safe windows the last Run executed.
+func (x *Executor) Windows() int64 { return x.windows }
+
+// Handoffs reports how many events crossed shards during the last Run.
+func (x *Executor) Handoffs() int64 { return x.handoffs }
+
+// Run executes the fabric to quiescence (or until the stop flag
+// rises) and returns the latest shard clock. K=1 runs the serial
+// engine loop directly.
+func (x *Executor) Run() netsim.Time {
+	x.stopped = false
+	if x.K == 1 {
+		t := x.Nets[0].Sim.Run(0)
+		x.stopped = x.Nets[0].Sim.Stopped()
+		return t
+	}
+	for i := range x.Nets {
+		go x.workerLoop(i)
+	}
+	for {
+		if x.stopFlag != nil && x.stopFlag.Load() {
+			x.stopped = true
+			break
+		}
+		x.inject()
+		tmin, any := netsim.Time(0), false
+		for _, n := range x.Nets {
+			if t, ok := n.Sim.NextAt(); ok && (!any || t < tmin) {
+				tmin, any = t, true
+			}
+		}
+		if !any {
+			break
+		}
+		// Integer picosecond times: running to T+L-1 executes exactly
+		// the half-open window [T, T+L).
+		x.window(tmin + x.Lookahead - 1)
+		x.windows++
+	}
+	x.close()
+	var m netsim.Time
+	for _, n := range x.Nets {
+		if t := n.Sim.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// inject replays the buffered hand-offs into their destination shards,
+// sorted by (time, source shard, hand-off order): the buffers are
+// concatenated in source-shard order and stably sorted by time, so
+// equal-time events keep source order and, within one source, emission
+// order. Every injected event is scheduled with the destination
+// network as its handler (wire arrivals and PFC frames are all
+// Network-dispatched).
+func (x *Executor) inject() {
+	for d := 0; d < x.K; d++ {
+		buf := x.scratch[:0]
+		for s := 0; s < x.K; s++ {
+			if h := x.hand[s][d]; len(h) > 0 {
+				buf = append(buf, h...)
+				x.hand[s][d] = h[:0]
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.SliceStable(buf, func(a, b int) bool { return buf[a].at < buf[b].at })
+		dst := x.Nets[d]
+		for i := range buf {
+			dst.Sim.Schedule(buf[i].at, dst, buf[i].ev)
+		}
+		x.handoffs += int64(len(buf))
+		x.scratch = buf[:0]
+	}
+}
+
+// window publishes one safe window to the workers and waits for all of
+// them at the barrier.
+func (x *Executor) window(limit netsim.Time) {
+	x.limit = limit
+	seq := x.windowSeq.Add(1)
+	for i := range x.done {
+		spins := 0
+		for x.done[i].seq.Load() != seq {
+			if spins++; spins > 256 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// close retires the worker goroutines after the final window.
+func (x *Executor) close() {
+	x.closing = true
+	seq := x.windowSeq.Add(1)
+	for i := range x.done {
+		for x.done[i].seq.Load() != seq {
+			runtime.Gosched()
+		}
+	}
+	x.closing = false
+	x.windowSeq.Store(0)
+	for i := range x.done {
+		x.done[i].seq.Store(0)
+	}
+}
+
+// workerLoop is one shard's executor: spin on the window barrier, run
+// the shard engine through the published window, report done. The
+// spin yields to the scheduler so K workers make progress on any
+// GOMAXPROCS.
+func (x *Executor) workerLoop(i int) {
+	sim := x.Nets[i].Sim
+	var local uint64
+	for {
+		spins := 0
+		for x.windowSeq.Load() == local {
+			if spins++; spins > 256 {
+				runtime.Gosched()
+			}
+		}
+		local++
+		if x.closing {
+			x.done[i].seq.Store(local)
+			return
+		}
+		limit := x.limit
+		if x.sem != nil {
+			x.sem <- struct{}{}
+		}
+		if t, ok := sim.NextAt(); ok && t <= limit {
+			sim.Run(limit)
+		}
+		if x.sem != nil {
+			<-x.sem
+		}
+		x.done[i].seq.Store(local)
+	}
+}

@@ -1,0 +1,344 @@
+package shard_test
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// fabricFlows builds a seeded open-loop schedule for g.
+func fabricFlows(t *testing.T, g *topology.Graph, ranks, flows int, seed int64) []netsim.Flow {
+	t.Helper()
+	cfg := netsim.DefaultConfig()
+	fs, err := loadgen.Spec{
+		Ranks: ranks, Pattern: loadgen.Uniform(),
+		Sizes: loadgen.ScaleSizes(loadgen.WebSearch(), 1.0/64),
+		Load:  0.7, Flows: flows, Seed: seed, LinkBps: cfg.LinkBps,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs.Flows
+}
+
+// forwarderFor compiles the default routes for g.
+func forwarderFor(t *testing.T, g *topology.Graph) netsim.RouteForwarder {
+	t.Helper()
+	routes, err := routing.ForTopology(g).Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes.Prime()
+	return netsim.NewRouteForwarder(routes)
+}
+
+// fingerprint captures everything a run can differ in: per-flow
+// completion stamps plus the merged fabric counters and event count.
+type fingerprint struct {
+	ends   []netsim.Time
+	act    netsim.Time
+	events int64
+	drops  int64
+	pauses int64
+	ecn    int64
+}
+
+// runSharded executes one flow schedule on a fresh sharded fabric.
+func runSharded(t *testing.T, g *topology.Graph, flows []netsim.Flow, k int, opt shard.Options) fingerprint {
+	t.Helper()
+	sched := make([]netsim.Flow, len(flows))
+	copy(sched, flows)
+	ex, err := shard.New(g, forwarderFor(t, g), netsim.DefaultConfig(), k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := core.PickSpread(g.Hosts(), ranksOf(sched))
+	app := netsim.NewFlowApp(ex.Primary(), hosts, sched, nil)
+	app.Start()
+	ex.Run()
+	if act := app.ACT(); act < 0 {
+		t.Fatalf("K=%d run did not complete: %d outstanding", k, app.Outstanding())
+	}
+	fp := fingerprint{act: app.ACT(), events: ex.Events()}
+	for i := range sched {
+		fp.ends = append(fp.ends, sched[i].End)
+	}
+	for _, n := range ex.Nets {
+		fp.drops += n.TotalDrops
+		fp.pauses += n.PausesSent
+		fp.ecn += n.EcnMarks
+	}
+	return fp
+}
+
+func ranksOf(flows []netsim.Flow) int {
+	r := 0
+	for i := range flows {
+		if flows[i].Src >= r {
+			r = flows[i].Src + 1
+		}
+		if flows[i].Dst >= r {
+			r = flows[i].Dst + 1
+		}
+	}
+	return r
+}
+
+func sameFingerprint(t *testing.T, what string, a, b fingerprint) {
+	t.Helper()
+	if a.act != b.act || a.events != b.events || a.drops != b.drops ||
+		a.pauses != b.pauses || a.ecn != b.ecn {
+		t.Fatalf("%s: fingerprints differ: %+v vs %+v",
+			what, counters(a), counters(b))
+	}
+	for i := range a.ends {
+		if a.ends[i] != b.ends[i] {
+			t.Fatalf("%s: flow %d completion differs: %d vs %d", what, i, a.ends[i], b.ends[i])
+		}
+	}
+}
+
+func counters(f fingerprint) map[string]int64 {
+	return map[string]int64{
+		"act": int64(f.act), "events": f.events, "drops": f.drops,
+		"pauses": f.pauses, "ecn": f.ecn,
+	}
+}
+
+// TestK1MatchesSerial pins the K=1 half of the determinism contract:
+// a one-shard fabric executes event-for-event like netsim.NewNetwork.
+func TestK1MatchesSerial(t *testing.T) {
+	g := topology.FatTree(4)
+	flows := fabricFlows(t, g, 16, 120, 7)
+
+	// Serial reference.
+	serial := make([]netsim.Flow, len(flows))
+	copy(serial, flows)
+	net, err := netsim.NewNetwork(g, forwarderFor(t, g), netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := core.PickSpread(g.Hosts(), ranksOf(serial))
+	app := netsim.NewFlowApp(net, hosts, serial, nil)
+	app.Start()
+	net.Sim.Run(0)
+	ref := fingerprint{
+		act: app.ACT(), events: net.Sim.Events(),
+		drops: net.TotalDrops, pauses: net.PausesSent, ecn: net.EcnMarks,
+	}
+	for i := range serial {
+		ref.ends = append(ref.ends, serial[i].End)
+	}
+
+	got := runSharded(t, g, flows, 1, shard.Options{})
+	sameFingerprint(t, "K=1 vs serial", ref, got)
+}
+
+// TestFixedKDeterminism pins the other half: for fixed K>1 the merged
+// output is identical across reruns, worker caps, and GOMAXPROCS.
+func TestFixedKDeterminism(t *testing.T) {
+	g := topology.FatTree(4)
+	flows := fabricFlows(t, g, 16, 120, 11)
+	for _, k := range []int{2, 4} {
+		ref := runSharded(t, g, flows, k, shard.Options{})
+		rerun := runSharded(t, g, flows, k, shard.Options{})
+		sameFingerprint(t, "rerun", ref, rerun)
+		oneWorker := runSharded(t, g, flows, k, shard.Options{Workers: 1})
+		sameFingerprint(t, "workers=1", ref, oneWorker)
+
+		prev := runtime.GOMAXPROCS(1)
+		serialProcs := runSharded(t, g, flows, k, shard.Options{})
+		runtime.GOMAXPROCS(prev)
+		sameFingerprint(t, "GOMAXPROCS=1", ref, serialProcs)
+	}
+}
+
+// TestShardsCompleteAndHandOff checks a K=4 run actually crosses
+// shards (a partition of a fat-tree must cut something) and reports
+// executor telemetry.
+func TestShardsCompleteAndHandOff(t *testing.T) {
+	g := topology.FatTree(4)
+	flows := fabricFlows(t, g, 16, 120, 13)
+	sched := make([]netsim.Flow, len(flows))
+	copy(sched, flows)
+	ex, err := shard.New(g, forwarderFor(t, g), netsim.DefaultConfig(), 4, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CutLinks == 0 || ex.Lookahead <= 0 {
+		t.Fatalf("expected cut links and positive lookahead, got %d / %v", ex.CutLinks, ex.Lookahead)
+	}
+	app := netsim.NewFlowApp(ex.Primary(), core.PickSpread(g.Hosts(), ranksOf(sched)), sched, nil)
+	app.Start()
+	ex.Run()
+	if app.ACT() < 0 {
+		t.Fatalf("run did not complete")
+	}
+	if ex.Handoffs() == 0 {
+		t.Fatal("no events crossed shards on a cut fat-tree")
+	}
+	if ex.Windows() == 0 {
+		t.Fatal("no windows executed")
+	}
+}
+
+// TestStopFlag checks engine-deep cancellation: raising the flag stops
+// a sharded run mid-flight.
+func TestStopFlag(t *testing.T) {
+	g := topology.FatTree(4)
+	flows := fabricFlows(t, g, 16, 4000, 17)
+	ex, err := shard.New(g, forwarderFor(t, g), netsim.DefaultConfig(), 4, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flag atomic.Bool
+	ex.SetStop(&flag)
+	app := netsim.NewFlowApp(ex.Primary(), core.PickSpread(g.Hosts(), ranksOf(flows)), flows, nil)
+	app.Start()
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		flag.Store(true)
+	}()
+	ex.Run()
+	if !ex.Stopped() && app.ACT() < 0 {
+		t.Fatal("run neither stopped nor completed")
+	}
+}
+
+// TestCoreRunSharded drives the full core.Run surface: WithShards
+// produces a merged result whose effective shard count is reported,
+// reruns identically, and cancels through the context.
+func TestCoreRunSharded(t *testing.T) {
+	g := topology.FatTree(4)
+	flows := fabricFlows(t, g, 16, 120, 19)
+	tb, err := core.PaperTestbed([]*topology.Graph{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *core.RunResult {
+		sched := make([]netsim.Flow, len(flows))
+		copy(sched, flows)
+		res, err := core.Run(context.Background(), tb,
+			core.Scenario{Topo: g, Flows: sched, Mode: core.FullTestbed},
+			core.WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Shards != 4 {
+		t.Fatalf("effective shards = %d, want 4", a.Shards)
+	}
+	if a.ACT != b.ACT || a.Events != b.Events || a.Drops != b.Drops || a.Pauses != b.Pauses {
+		t.Fatalf("sharded core.Run not deterministic: %+v vs %+v", a, b)
+	}
+	// Cancellation lands mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.Run(ctx, tb,
+		core.Scenario{Topo: g, Flows: fabricFlows(t, g, 16, 120, 19), Mode: core.FullTestbed},
+		core.WithShards(4)); err == nil {
+		t.Fatal("cancelled sharded run returned no error")
+	}
+}
+
+// TestSerialFallback pins the automatic fallback conditions: scenarios
+// the executor cannot shard run serially and say so.
+func TestSerialFallback(t *testing.T) {
+	g := topology.FatTree(4)
+	tb, err := core.PaperTestbed([]*topology.Graph{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick observers (telemetry) force serial.
+	col := telemetry.NewCollector(g, netsim.Millisecond, 0.3)
+	res, err := core.Run(context.Background(), tb,
+		core.Scenario{Topo: g, Flows: fabricFlows(t, g, 16, 60, 23), Mode: core.FullTestbed},
+		core.WithShards(4), core.WithTelemetry(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("telemetry run executed with %d shards, want serial fallback", res.Shards)
+	}
+	// SDT projection forces serial.
+	res, err = core.Run(context.Background(), tb,
+		core.Scenario{Topo: g, Flows: fabricFlows(t, g, 16, 60, 23), Mode: core.SDT},
+		core.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("SDT run executed with %d shards, want serial fallback", res.Shards)
+	}
+	// Zero propagation delay leaves no lookahead.
+	cfg := netsim.DefaultConfig()
+	cfg.PropDelay = 0
+	res, err = core.Run(context.Background(), tb,
+		core.Scenario{Topo: g, Flows: fabricFlows(t, g, 16, 60, 23), Mode: core.FullTestbed},
+		core.WithShards(4), core.WithSimConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("zero-PropDelay run executed with %d shards, want serial fallback", res.Shards)
+	}
+}
+
+// TestTelemetryCollectorMerge pins the whole-fabric view from a shard:
+// shard networks share one link array, so a collector sampling the
+// primary after a sharded run sees the same per-link byte totals a
+// serial run records.
+func TestTelemetryCollectorMerge(t *testing.T) {
+	g := topology.FatTree(4)
+	flows := fabricFlows(t, g, 16, 120, 29)
+
+	collect := func(net *netsim.Network) map[int]float64 {
+		col := telemetry.NewCollector(g, netsim.Millisecond, 1)
+		col.Collect(net)
+		return col.Rates()
+	}
+
+	serial := make([]netsim.Flow, len(flows))
+	copy(serial, flows)
+	net, err := netsim.NewNetwork(g, forwarderFor(t, g), netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := core.PickSpread(g.Hosts(), ranksOf(serial))
+	app := netsim.NewFlowApp(net, hosts, serial, nil)
+	app.Start()
+	net.Sim.Run(0)
+	ref := collect(net)
+
+	sched := make([]netsim.Flow, len(flows))
+	copy(sched, flows)
+	ex, err := shard.New(g, forwarderFor(t, g), netsim.DefaultConfig(), 1, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app = netsim.NewFlowApp(ex.Primary(), hosts, sched, nil)
+	app.Start()
+	ex.Run()
+	got := collect(ex.Primary())
+
+	if len(ref) != len(got) {
+		t.Fatalf("link count differs: %d vs %d", len(ref), len(got))
+	}
+	for eid, v := range ref {
+		if got[eid] != v {
+			t.Fatalf("edge %d load differs: %g vs %g", eid, got[eid], v)
+		}
+	}
+}

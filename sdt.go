@@ -16,9 +16,26 @@
 // one simulation per worker with Sweep(ctx, jobs, ...Option). Options
 // attach the cross-cutting concerns — WithHosts, WithStrategy,
 // WithSimConfig, WithTelemetry, WithObserver, WithDeadline,
-// WithWorkers — and the context cancels cooperatively *inside* the
-// event loop: the engine polls a stop flag on an event-count stride,
-// so a cancelled run or sweep stops mid-simulation, not between jobs.
+// WithWorkers, WithShards — and the context cancels cooperatively
+// *inside* the event loop: the engine polls a stop flag on an
+// event-count stride, so a cancelled run or sweep stops
+// mid-simulation, not between jobs.
+//
+// Large fabrics can additionally be sharded *within* one run:
+// WithShards(k) partitions the topology switch-wise (the same
+// partitioner that projects topologies onto physical switches) and
+// executes it as k conservative parallel engines advancing in
+// lock-step lookahead windows —
+//
+//	res, err := sdt.Run(ctx, tb, sdt.Scenario{Topo: topo, Flows: fs.Flows},
+//		sdt.WithShards(4))
+//
+// For a fixed shard count results are byte-identical across reruns,
+// machines and worker counts (Shards=1 matches the serial engine
+// exactly; different counts are distinct deterministic schedules), and
+// runs the executor cannot shard — faults, SDT mode, Tick observers,
+// zero propagation delay — silently fall back to serial, reported via
+// RunResult.Shards.
 //
 // Quickstart:
 //
@@ -206,6 +223,7 @@ var (
 	WithObserver  = core.WithObserver
 	WithDeadline  = core.WithDeadline
 	WithWorkers   = core.WithWorkers
+	WithShards    = core.WithShards
 )
 
 // TraceJob is one independent workload execution for Testbed.RunBatch.
