@@ -15,6 +15,8 @@
 //	sdtbench -exp loadgen-sweep -seed 7 -parallel 0
 //	sdtbench -exp loadgen-sweep -shards 4
 //	sdtbench -exp shard-scale
+//	sdtbench -exp reconfig-sweep
+//	sdtbench -exp reconfig-under-load -reconfig torus
 //	sdtbench -exp all -json > bench.json
 //
 // -list prints every registered scenario set with its one-line
@@ -28,8 +30,12 @@
 //
 // -shards K splits each simulation across K conservative shard engines
 // (core.WithShards): deterministic per shard count, serial fallback
-// for runs the executor cannot shard (faults, SDT-mode jobs,
-// hand-driven sets). Composes with -parallel.
+// for runs the executor cannot shard (faults, reconfiguration,
+// SDT-mode jobs, hand-driven sets). Composes with -parallel.
+//
+// -reconfig selects reconfig-under-load's transition target topology:
+// dragonfly (the default) or torus. reconfig-sweep ignores it — its
+// grid fixes the transition pairs.
 //
 // -json suppresses the human-readable tables and instead emits one
 // machine-readable JSON document with per-experiment wall-clock and
@@ -89,6 +95,7 @@ func main() {
 	shards := flag.Int("shards", 0, "intra-run shard engines per simulation (0/1 = serial; ineligible runs fall back)")
 	nFaults := flag.Int("faults", 0, "faults-sweep link-failure count per cell (0 = the {1,2,4} grid)")
 	mtbf := flag.Float64("mtbf", 0, "faults-flap link MTBF in ms, MTTR = MTBF/4 (0 = the {1,2,4,8} ms grid)")
+	reconfigTarget := flag.String("reconfig", "", "reconfig-under-load transition target: dragonfly|torus (\"\" = dragonfly)")
 	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
 	list := flag.Bool("list", false, "list registered experiments with their descriptions and exit")
 	flag.Parse()
@@ -113,6 +120,7 @@ func main() {
 		Shards:   *shards,
 		Faults:   *nFaults,
 		MTBF:     netsim.Time(*mtbf * float64(netsim.Millisecond)),
+		Reconfig: *reconfigTarget,
 	}
 
 	var selected []experiments.Entry

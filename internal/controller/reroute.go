@@ -120,24 +120,8 @@ func (r *Rerouter) TotalChurn() int {
 	return n
 }
 
-// ruleChurn counts the symmetric difference between two rule sets —
-// the number of flow-mods (adds + removals) a controller would push to
-// move the fabric from old to new.
+// ruleChurn counts the flow-mods moving the fabric from old to new
+// (routing.Churn; kept as a local name for the call sites above).
 func ruleChurn(old, new []routing.Rule) int {
-	seen := make(map[routing.Rule]int, len(old))
-	for _, r := range old {
-		seen[r]++
-	}
-	churn := 0
-	for _, r := range new {
-		if seen[r] > 0 {
-			seen[r]--
-		} else {
-			churn++ // added
-		}
-	}
-	for _, n := range seen {
-		churn += n // removed
-	}
-	return churn
+	return routing.Churn(old, new)
 }

@@ -106,6 +106,11 @@ type RunResult struct {
 	Incomplete int
 	// Recovery carries the per-fault repair and reconvergence metrics.
 	Recovery *telemetry.Recovery
+	// Reconfig carries the per-transition protocol telemetry for runs
+	// whose scenario scheduled live topology transitions (nil
+	// otherwise). FaultDrops and Incomplete above then count the drain
+	// windows' losses.
+	Reconfig *telemetry.ReconfigReport
 
 	// Shards is the effective intra-run shard count the simulation
 	// executed with: 1 for a serial run (including every automatic

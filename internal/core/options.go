@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -58,6 +59,20 @@ type Scenario struct {
 	// loses a packet still fails with "did not complete", since
 	// closed-loop replay cannot progress past a lost message.
 	Faults *faults.Spec
+	// Reconfig schedules live topology transitions during the run: each
+	// one executes the staged drain→transition→reconverge protocol
+	// (internal/reconfig) against a run-private projection allocation
+	// and route clone — affected links drain with PFC unwind, the
+	// target is projected/checked/compiled at the control plane with
+	// abort-to-rollback on any failure, and the run result's Reconfig
+	// report carries packets lost, reconvergence time, rule churn, and
+	// the costmodel downtime/price columns. Nil (the default) changes
+	// nothing: a transition-free run is byte-identical to one built
+	// before the subsystem existed, and an empty spec schedules no
+	// stages. Mutually exclusive with Faults (both swap the live route
+	// set mid-run). Packet loss inside transition windows is tolerated
+	// only for open-loop Flows scenarios, exactly as under Faults.
+	Reconfig *reconfig.Spec
 	// Shards splits this run across k parallel engines under the
 	// conservative executor (internal/shard): the topology is
 	// partitioned switch-wise and the shards advance in lock-step safe

@@ -16,6 +16,8 @@ import (
 	"repro/internal/controller"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/partition"
+	"repro/internal/reconfig"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -149,6 +151,8 @@ func watchFlag(ctx context.Context, flag *atomic.Bool) func() {
 //
 //   - fault injection (SetLinkDown/SetSwitchDown touch links across
 //     shards, and the rerouter patches shared forwarding state mid-run),
+//   - live reconfiguration (transitions drain links across shards and
+//     swap the shared route set mid-run, exactly like faults),
 //   - SDT projection (sub-switches share physical crossbars),
 //   - Tick observers, WithTelemetry included (they read cross-shard
 //     state at simulated times the other shards haven't reached),
@@ -167,7 +171,7 @@ func effectiveShards(sc Scenario, cfg *runConfig, simCfg netsim.Config, g *topol
 	if k == 1 {
 		return 1
 	}
-	if sc.Faults != nil || sc.Mode == SDT || simCfg.PropDelay <= 0 {
+	if sc.Faults != nil || sc.Reconfig != nil || sc.Mode == SDT || simCfg.PropDelay <= 0 {
 		return 1
 	}
 	for _, h := range cfg.observers {
@@ -225,6 +229,11 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	if tr != nil && sc.Flows != nil {
 		return nil, errors.New("core: scenario cannot carry both a Trace and Flows")
 	}
+	if sc.Faults != nil && sc.Reconfig != nil {
+		// Both subsystems clone and swap the live route set mid-run;
+		// their patches would silently overwrite each other.
+		return nil, errors.New("core: scenario cannot carry both Faults and Reconfig")
+	}
 	name, ranks := scenarioWorkload(sc)
 	hosts := sc.Hosts
 	if hosts == nil {
@@ -276,6 +285,10 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	if err != nil {
 		return nil, err
 	}
+	rcTracker, err := armReconfig(net, sc, g, tb)
+	if err != nil {
+		return nil, err
+	}
 	for _, h := range cfg.observers {
 		if h.Start != nil {
 			h.Start(net, sc)
@@ -323,12 +336,13 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	incomplete := 0
 	if act < 0 {
 		fa, isFlows := app.(*netsim.FlowApp)
-		if sc.Faults == nil || !isFlows {
+		if (sc.Faults == nil && sc.Reconfig == nil) || !isFlows {
 			return nil, fmt.Errorf("core: %s on %s (%s) did not complete: drops=%d faultdrops=%d",
 				name, g.Name, sc.Mode, drops, faultDrops)
 		}
-		// Open-loop flows under faults: packet loss is a result, not an
-		// error. ACT degrades to the last completed flow.
+		// Open-loop flows under faults or reconfiguration: packet loss
+		// is a result, not an error. ACT degrades to the last completed
+		// flow.
 		act = fa.LastCompletion()
 		incomplete = fa.Outstanding()
 	}
@@ -340,6 +354,9 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	}
 	if tracker != nil {
 		res.Recovery = tracker.Report(incomplete)
+	}
+	if rcTracker != nil {
+		res.Reconfig = rcTracker.ReconfigReport(incomplete)
 	}
 	switch sc.Mode {
 	case FullTestbed:
@@ -391,6 +408,57 @@ func armFaults(net *netsim.Network, sc Scenario, g *topology.Graph) (*telemetry.
 		}
 	}
 	faults.Bind(net, sched, obs...)
+	return tracker, nil
+}
+
+// armReconfig builds and binds the scenario's reconfiguration
+// schedule, if any: a Reconfigurer over a run-private projection
+// allocation (drawn from the testbed controller's cabling) and a
+// run-private clone of the route set, with a RecoveryTracker wired to
+// every stage hook so the run result carries the per-transition
+// protocol telemetry. Returns nil when the scenario schedules no
+// transitions.
+func armReconfig(net *netsim.Network, sc Scenario, g *topology.Graph, tb *Testbed) (*telemetry.RecoveryTracker, error) {
+	if sc.Reconfig == nil {
+		return nil, nil
+	}
+	rf, ok := net.Fwd.(netsim.RouteForwarder)
+	if !ok {
+		return nil, errors.New("core: reconfiguration needs a route-forwarded fabric")
+	}
+	// Patch and restore mutate the route set mid-run; give this run its
+	// own copy so SDT deployments and sweep siblings sharing the
+	// original stay untouched (same contract as armFaults).
+	live := rf.Routes.Clone()
+	live.Prime()
+	net.Fwd = netsim.NewRouteForwarder(live)
+	rc, err := reconfig.New(g, tb.Ctl.Cabling, live, sc.Reconfig, partition.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tracker := telemetry.NewRecoveryTracker(net)
+	// rec maps the reconfigurer's stage index to the tracker's record
+	// index (rejected stages record out of band, so they differ).
+	rec := make([]int, len(rc.Stages))
+	rc.OnDrain = func(now netsim.Time, i int, drained []int) {
+		rec[i] = tracker.TransitionDrain(now, rc.Stages[i].Desc, len(drained))
+	}
+	rc.OnReject = func(now netsim.Time, i int, reason string) {
+		tracker.TransitionReject(now, rc.Stages[i].Desc, reason)
+	}
+	rc.OnPatch = func(now netsim.Time, i int, churn int) {
+		tracker.TransitionPatch(rec[i], now, churn)
+	}
+	rc.OnCommit = func(now netsim.Time, i int, entries int, reconfigTime time.Duration, hwCost float64) {
+		tracker.TransitionCommit(rec[i], now, entries, reconfigTime, hwCost)
+	}
+	rc.OnRollback = func(now netsim.Time, i int, reason string) {
+		tracker.TransitionRollback(rec[i], now, reason)
+	}
+	rc.OnRestore = func(now netsim.Time, i int, churn int) {
+		tracker.TransitionRestore(rec[i], now, churn)
+	}
+	rc.Bind(net)
 	return tracker, nil
 }
 

@@ -69,3 +69,103 @@ func TestTable1Shape(t *testing.T) {
 		t.Error("Rating strings")
 	}
 }
+
+// TestReconfigTimeBoundaries pins the exact arithmetic at the entry
+// boundaries the reconfiguration subsystem leans on: zero entries is
+// pure controller overhead, each extra entry adds exactly one flow-mod,
+// and TurboNet's recompile ignores entries entirely.
+func TestReconfigTimeBoundaries(t *testing.T) {
+	sdt := projection.Requirement{Method: projection.MethodSDT}
+	if got := ReconfigTime(sdt, 0); got != ControllerBase {
+		t.Errorf("SDT at 0 entries = %v, want the bare controller base %v", got, ControllerBase)
+	}
+	if got := ReconfigTime(sdt, 1); got != ControllerBase+FlowModTime {
+		t.Errorf("SDT at 1 entry = %v, want base+%v", got, FlowModTime)
+	}
+	if d := ReconfigTime(sdt, 1001) - ReconfigTime(sdt, 1000); d != FlowModTime {
+		t.Errorf("per-entry marginal cost = %v, want %v", d, FlowModTime)
+	}
+	// TurboNet's recompile dominates regardless of entries.
+	tn := projection.Requirement{Method: projection.MethodTurboNet}
+	if ReconfigTime(tn, 0) != ReconfigTime(tn, 1<<20) {
+		t.Error("TurboNet reconfig time depends on entries")
+	}
+	// SP with no cables to move degenerates to the flow install.
+	sp := projection.Requirement{Method: projection.MethodSP}
+	if got := ReconfigTime(sp, 10); got != ReconfigTime(sdt, 10) {
+		t.Errorf("cable-free SP = %v, want the SDT install %v", got, ReconfigTime(sdt, 10))
+	}
+}
+
+// TestZeroRequirement pins the zero value: no hardware costs nothing,
+// and its reconfiguration is the SDT controller base (Method's zero
+// value is MethodSDT).
+func TestZeroRequirement(t *testing.T) {
+	var req projection.Requirement
+	if got := HardwareCost(req); got != 0 {
+		t.Errorf("zero requirement costs $%.0f, want $0", got)
+	}
+	if got := ReconfigTime(req, 0); got != ControllerBase {
+		t.Errorf("zero requirement reconfig = %v, want %v", got, ControllerBase)
+	}
+}
+
+// TestHardwareCostArithmetic pins the per-method price formulas against
+// the published constants, so a Table II regeneration cannot drift
+// silently.
+func TestHardwareCostArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		req  projection.Requirement
+		want float64
+	}{
+		{"SDT 3 switches", projection.Requirement{Method: projection.MethodSDT, Switches: 3}, 3 * PriceOpenFlowSwitch},
+		{"SP ignores cables in price", projection.Requirement{Method: projection.MethodSP, Switches: 2, ManualCables: 99}, 2 * PriceOpenFlowSwitch},
+		{"TurboNet P4 silicon", projection.Requirement{Method: projection.MethodTurboNet, Switches: 2}, 2 * PriceP4Switch},
+		{"SP-OS optics + fibres", projection.Requirement{Method: projection.MethodSPOS, Switches: 1, OpticalPorts: 64},
+			PriceOpenFlowSwitch + 64*PriceOpticalPort + 64*PriceCable},
+	}
+	for _, tc := range cases {
+		if got := HardwareCost(tc.req); got != tc.want {
+			t.Errorf("%s: $%.2f, want $%.2f", tc.name, got, tc.want)
+		}
+	}
+	// The paper's headline figure: a full 320-port MEMS switch prices
+	// above $100k on its own.
+	if 320*PriceOpticalPort < 100_000 {
+		t.Error("320 optical ports price under the paper's >$100k citation")
+	}
+}
+
+// TestTable1Table2Consistency: the qualitative Table I rubric must
+// agree with the quantitative model — SDT is priced Medium because its
+// hardware cost sits strictly between the simulator's (free) and a
+// dedicated testbed's per-node build-out, and its "Easy" reconfig must
+// be the fastest physical method at any entry count.
+func TestTable1Table2Consistency(t *testing.T) {
+	byTool := map[string]ToolRow{}
+	for _, r := range Table1() {
+		byTool[r.Tool] = r
+	}
+	if byTool["SDT"].Reconfig != "Easy" || byTool["Testbed"].Reconfig != "Hard" {
+		t.Fatalf("Table I reconfig ratings moved: %+v", byTool)
+	}
+	for _, entries := range []int{0, 300, 10_000} {
+		sdt := ReconfigTime(projection.Requirement{Method: projection.MethodSDT}, entries)
+		spos := ReconfigTime(projection.Requirement{Method: projection.MethodSPOS}, entries)
+		tn := ReconfigTime(projection.Requirement{Method: projection.MethodTurboNet}, entries)
+		sp := ReconfigTime(projection.Requirement{Method: projection.MethodSP, ManualCables: 8}, entries)
+		if !(sdt < spos && sdt < tn && sdt < sp) {
+			t.Errorf("entries=%d: SDT (%v) is not the fastest (SP-OS %v, TurboNet %v, SP %v) — Table I calls it Easy",
+				entries, sdt, spos, tn, sp)
+		}
+	}
+	// Price rubric: 3 OpenFlow switches (the paper's deployment) must
+	// undercut 3 P4 switches and any optical build-out.
+	sdtCost := HardwareCost(projection.Requirement{Method: projection.MethodSDT, Switches: 3})
+	tnCost := HardwareCost(projection.Requirement{Method: projection.MethodTurboNet, Switches: 3})
+	sposCost := HardwareCost(projection.Requirement{Method: projection.MethodSPOS, Switches: 3, OpticalPorts: 192})
+	if !(sdtCost < tnCost && sdtCost < sposCost) {
+		t.Errorf("price rubric violated: SDT $%.0f vs TurboNet $%.0f, SP-OS $%.0f", sdtCost, tnCost, sposCost)
+	}
+}

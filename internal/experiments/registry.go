@@ -48,6 +48,9 @@ type Params struct {
 	// MTBF overrides faults-flap's MTBF axis (0 = the default
 	// {1, 2, 4, 8} ms grid; MTTR follows as MTBF/4).
 	MTBF netsim.Time
+	// Reconfig selects reconfig-under-load's transition target:
+	// "dragonfly" (the default) or "torus".
+	Reconfig string
 	// Shards runs each simulation across k parallel shard engines
 	// (core.WithShards; 0 or 1 = serial). Scenario sets that hand-drive
 	// their networks (fig11, fig12, table2) ignore it, and runs the

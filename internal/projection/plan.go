@@ -288,6 +288,71 @@ func (p *Plan) Release(alloc *Allocation) {
 	}
 }
 
+// Acquire marks the plan's physical links and host ports used in alloc
+// — the exact inverse of Release, used to restore a previously released
+// deployment during reconfiguration rollback. It fails without mutating
+// alloc if any of the plan's resources is already booked, so a rollback
+// can never double-book ports.
+func (p *Plan) Acquire(alloc *Allocation) error {
+	var selfIdx, interIdx, hostIdx []int
+	for eid, pl := range p.EdgeLink {
+		if pl.SelfLink >= 0 {
+			if alloc.selfUsed[pl.SelfLink] {
+				return fmt.Errorf("projection: %s: self-link %d (edge %d) already in use", p.Topo.Name, pl.SelfLink, eid)
+			}
+			selfIdx = append(selfIdx, pl.SelfLink)
+		}
+		if pl.InterLink >= 0 {
+			if alloc.interUsed[pl.InterLink] {
+				return fmt.Errorf("projection: %s: inter-link %d (edge %d) already in use", p.Topo.Name, pl.InterLink, eid)
+			}
+			interIdx = append(interIdx, pl.InterLink)
+		}
+	}
+	for h, ref := range p.HostAttach {
+		for i, hp := range p.Cabling.HostPorts {
+			if hp.Ref == ref {
+				if alloc.hostUsed[i] {
+					return fmt.Errorf("projection: %s: host port %v (host %d) already in use", p.Topo.Name, ref, h)
+				}
+				hostIdx = append(hostIdx, i)
+			}
+		}
+	}
+	for _, i := range selfIdx {
+		alloc.selfUsed[i] = true
+	}
+	for _, i := range interIdx {
+		alloc.interUsed[i] = true
+	}
+	for _, i := range hostIdx {
+		alloc.hostUsed[i] = true
+	}
+	return nil
+}
+
+// UsedCounts reports how many self-links, inter-links, and host ports
+// the allocation currently has booked — the leak/double-book invariant
+// the reconfiguration fuzzer checks against the resident plan.
+func (a *Allocation) UsedCounts() (self, inter, host int) {
+	for _, u := range a.selfUsed {
+		if u {
+			self++
+		}
+	}
+	for _, u := range a.interUsed {
+		if u {
+			inter++
+		}
+	}
+	for _, u := range a.hostUsed {
+		if u {
+			host++
+		}
+	}
+	return self, inter, host
+}
+
 // Check verifies the plan's internal consistency: every logical
 // switch-switch edge is realised by a physical cable whose two ports
 // map back to the edge's two logical ports, and no physical port is

@@ -1,0 +1,461 @@
+// Package reconfig executes live topology reconfiguration under
+// traffic: a Spec of timed transitions (fat-tree → dragonfly, fabric
+// growth, oversubscription changes) is expanded into a deterministic
+// stage schedule and each transition runs as a staged robustness
+// protocol against a running netsim fabric —
+//
+//  1. drain: the logical links of the running topology whose physical
+//     cables the incoming target will claim are marked down
+//     (netsim.Network.SetLinkDown — in-flight packets account as fault
+//     drops with PFC unwind), and after the spec's patch latency the
+//     controller swaps degraded routes around the drained set
+//     (routing.RepairAvoiding + ReplaceRules, invalidating the memoized
+//     FIB);
+//  2. transition: the current plan is Released from the run's
+//     projection Allocation, the target is projected with
+//     projection.ProjectInto, verified with Plan.Check plus the
+//     transition's optional Validate hook, its routes compiled into
+//     flow tables for the entry count, and the costmodel's
+//     reconfiguration downtime and hardware cost derived; any failure —
+//     projection, check, compile, or the modelled install time
+//     exceeding Spec.StageTimeout — aborts to rollback: the previous
+//     plan is re-Acquired, drained links restored, and the original
+//     rules swapped back, so the run completes on the old topology;
+//  3. reconverge: after the install window the drained links come back
+//     up and the full original rules are restored; the caller's hooks
+//     (wired to telemetry.RecoveryTracker by the core run loop) stamp
+//     packets lost, reconvergence time, and rule churn.
+//
+// The evaluation fabric keeps executing the running topology's workload
+// throughout — the measured quantity is the *disruption* a transition
+// inflicts on traffic, while the target deployment is fully modelled at
+// the control plane (allocation, plan check, flow-table compile, cost
+// columns). Everything is deterministic: stage times come from the
+// spec, drained sets from the deterministic projection, and all
+// schedules are byte-identical for equal (spec, topology, cabling)
+// inputs — the property the golden harness and the worker-count
+// invariance tests pin.
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/netsim"
+	"repro/internal/partition"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Stage-window defaults, applied when a Transition leaves the
+// corresponding field zero.
+const (
+	// DefaultDrain is the drain window: drain start → transition commit.
+	DefaultDrain = 500 * netsim.Microsecond
+	// DefaultInstall is the install window: commit → links restored.
+	DefaultInstall = 500 * netsim.Microsecond
+	// DefaultPatchLatency is the controller delay between drain start
+	// and the degraded routes going live.
+	DefaultPatchLatency = 125 * netsim.Microsecond
+)
+
+// Transition is one timed topology change.
+type Transition struct {
+	// At is the absolute simulated time the drain stage starts.
+	At netsim.Time
+	// Target is the topology being transitioned to.
+	Target *topology.Graph
+	// Drain is the drain-window length (0 = DefaultDrain): the time
+	// between links going down and the transition commit.
+	Drain netsim.Time
+	// Install is the install-window length (0 = DefaultInstall): the
+	// time between a successful commit and the drained links coming
+	// back up (reconvergence starts there).
+	Install netsim.Time
+	// Validate, when set, is an extra admission check on the projected
+	// target plan, run after Plan.Check at commit time. Returning an
+	// error aborts the transition to rollback — the fault-injection
+	// hook the rollback tests and scenario sets use.
+	Validate func(*projection.Plan) error
+}
+
+// Spec describes one reconfiguration workload. The zero Spec is valid
+// and empty (no transitions); equal specs expand to identical stage
+// schedules.
+type Spec struct {
+	// Transitions execute in order; their stage windows must not
+	// overlap.
+	Transitions []Transition
+	// PatchLatency is the drain→degraded-routes delay (0 =
+	// DefaultPatchLatency). Negative disables the degraded patch:
+	// traffic toward drained links keeps dropping until reconverge.
+	// A latency at or beyond the drain window also disables it (the
+	// degraded rules would go live after the commit already decided).
+	PatchLatency netsim.Time
+	// StageTimeout, when positive, bounds the modelled controller
+	// install time (costmodel.ReconfigTime) of a committing target:
+	// exceeding it aborts the transition to rollback.
+	StageTimeout time.Duration
+}
+
+// Patch resolves the spec's effective patch latency (< 0 = disabled).
+func (s *Spec) Patch() netsim.Time {
+	if s.PatchLatency == 0 {
+		return DefaultPatchLatency
+	}
+	return s.PatchLatency
+}
+
+// Stage outcomes (Stage.Outcome prefixes; the full string carries the
+// reject/rollback reason after ": ").
+const (
+	OutcomeCommitted  = "committed"
+	OutcomeRolledBack = "rolled-back"
+	OutcomeRejected   = "rejected"
+)
+
+// Stage is one transition resolved against a topology and cabling:
+// absolute stage times, the drained link set, and — after the run — the
+// outcome and the committed target's cost columns.
+type Stage struct {
+	Transition
+	// Desc names the transition (e.g. "fat-tree-4->dragonfly @500us").
+	Desc string
+	// DrainAt/CommitAt/RestoreAt are the resolved stage boundaries.
+	DrainAt, CommitAt, RestoreAt netsim.Time
+	// PatchAt is when the degraded routes go live (-1 = patch disabled).
+	PatchAt netsim.Time
+	// Drained lists the running topology's logical edge IDs taken down
+	// for this transition (ascending): the edges whose physical cables
+	// the target's projection claims.
+	Drained []int
+	// Outcome is "" before the stage decides, else OutcomeCommitted, or
+	// OutcomeRejected/OutcomeRolledBack followed by ": <reason>". A
+	// stage whose target cannot be projected at all is rejected before
+	// drain and never touches the fabric.
+	Outcome string
+	// Entries, ReconfigTime, HardwareCost are the committed target's
+	// flow-table entry count and costmodel-derived downtime and
+	// hardware price (zero unless committed).
+	Entries      int
+	ReconfigTime time.Duration
+	HardwareCost float64
+}
+
+// Schedule validates the spec's shape against the running topology and
+// resolves the stage times. It is the pure-time half of New: no cabling
+// is consulted, so drained sets and reject decisions are not filled in.
+func (s *Spec) Schedule(g *topology.Graph) ([]Stage, error) {
+	var out []Stage
+	prevEnd := netsim.Time(-1)
+	for i, t := range s.Transitions {
+		if t.Target == nil {
+			return nil, fmt.Errorf("reconfig: transition %d: nil target", i)
+		}
+		if err := t.Target.Validate(); err != nil {
+			return nil, fmt.Errorf("reconfig: transition %d: invalid target %q: %w", i, t.Target.Name, err)
+		}
+		if t.At <= 0 {
+			return nil, fmt.Errorf("reconfig: transition %d: non-positive time %d", i, t.At)
+		}
+		drain, install := t.Drain, t.Install
+		if drain == 0 {
+			drain = DefaultDrain
+		}
+		if install == 0 {
+			install = DefaultInstall
+		}
+		if drain < 0 || install < 0 {
+			return nil, fmt.Errorf("reconfig: transition %d: negative stage window", i)
+		}
+		if t.At <= prevEnd {
+			return nil, fmt.Errorf("reconfig: transition %d: starts at %d inside the previous transition's window (ends %d)", i, t.At, prevEnd)
+		}
+		st := Stage{
+			Transition: t,
+			Desc:       fmt.Sprintf("%s->%s @%dus", g.Name, t.Target.Name, int64(t.At/netsim.Microsecond)),
+			DrainAt:    t.At,
+			CommitAt:   t.At + drain,
+			RestoreAt:  t.At + drain + install,
+			PatchAt:    -1,
+		}
+		if p := s.Patch(); p >= 0 && p < drain {
+			st.PatchAt = t.At + p
+		}
+		prevEnd = st.RestoreAt
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Digest renders a stage schedule one line per stage — the byte-stable
+// form the determinism tests compare.
+func Digest(stages []Stage) string {
+	var b []byte
+	for i := range stages {
+		st := &stages[i]
+		line := fmt.Sprintf("%s drain=%d commit@%dus restore@%dus", st.Desc, len(st.Drained),
+			int64(st.CommitAt/netsim.Microsecond), int64(st.RestoreAt/netsim.Microsecond))
+		if st.Outcome != "" {
+			line += " " + st.Outcome
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Reconfigurer executes one spec's transitions against one running
+// fabric. Create with New, set the hooks, then Bind before the
+// simulation starts. All stage execution happens inside the engine
+// thread; the Reconfigurer owns a run-private Allocation over the
+// testbed's cabling, so concurrent sweep siblings never contend.
+type Reconfigurer struct {
+	// Spec is the validated input.
+	Spec *Spec
+	// Stages is the resolved schedule; outcomes and cost columns fill
+	// in as the run executes. Stages rejected at New time (target does
+	// not project onto the cabling) carry their Outcome up front.
+	Stages []Stage
+
+	g     *topology.Graph
+	cab   *projection.Cabling
+	opt   partition.Options
+	alloc *projection.Allocation
+	base  *projection.Plan // the running topology's plan: drain mapping + rollback target
+	cur   *projection.Plan // currently committed plan (base, or a committed target's)
+	live  *routing.Routes  // run-private; mutated by patch/restore
+	orig  []routing.Rule   // the strategy's full rules, the restore baseline
+
+	// Lifecycle hooks, all optional, called inside the engine thread.
+	// i indexes Stages.
+	OnDrain    func(now netsim.Time, i int, drained []int)
+	OnPatch    func(now netsim.Time, i int, churn int)
+	OnCommit   func(now netsim.Time, i int, entries int, reconfigTime time.Duration, hwCost float64)
+	OnRollback func(now netsim.Time, i int, reason string)
+	OnRestore  func(now netsim.Time, i int, churn int)
+	OnReject   func(now netsim.Time, i int, reason string)
+}
+
+// New resolves a spec against the running topology g, the testbed's
+// cabling, and the run-private live route set. It projects g into a
+// fresh allocation (the modelled current deployment), probes every
+// target's projection to compute the drained link sets, and rejects —
+// without error — transitions whose target cannot be projected at all:
+// those stages never touch the fabric. Schedule-shape problems (nil or
+// invalid targets, overlapping windows) are errors.
+//
+// live must be private to the run (routing.Routes.Clone): patch and
+// restore mutate it mid-simulation. Target graphs must not be shared
+// with concurrent runs either — projection and route compilation build
+// their lazy caches.
+func New(g *topology.Graph, cab *projection.Cabling, live *routing.Routes, spec *Spec, opt partition.Options) (*Reconfigurer, error) {
+	stages, err := spec.Schedule(g)
+	if err != nil {
+		return nil, err
+	}
+	alloc := projection.NewAllocation(cab)
+	base, err := projection.ProjectInto(g, cab, alloc, opt)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: running topology: %w", err)
+	}
+	r := &Reconfigurer{
+		Spec: spec, Stages: stages,
+		g: g, cab: cab, opt: opt,
+		alloc: alloc, base: base, cur: base,
+		live: live, orig: append([]routing.Rule(nil), live.Rules...),
+	}
+	for i := range r.Stages {
+		st := &r.Stages[i]
+		probe, perr := projection.Project(st.Target, cab, opt)
+		if perr != nil {
+			st.Outcome = OutcomeRejected + ": " + perr.Error()
+			continue
+		}
+		st.Drained = drainSet(base, probe)
+	}
+	return r, nil
+}
+
+// drainSet returns the running topology's logical edges (ascending)
+// whose physical self- or inter-links the probe plan claims — the links
+// that must be vacated before the target can be cabled in.
+func drainSet(base, probe *projection.Plan) []int {
+	self := map[int]bool{}
+	inter := map[int]bool{}
+	for _, pl := range probe.EdgeLink {
+		if pl.SelfLink >= 0 {
+			self[pl.SelfLink] = true
+		}
+		if pl.InterLink >= 0 {
+			inter[pl.InterLink] = true
+		}
+	}
+	var out []int
+	for eid, pl := range base.EdgeLink {
+		if (pl.SelfLink >= 0 && self[pl.SelfLink]) || (pl.InterLink >= 0 && inter[pl.InterLink]) {
+			out = append(out, eid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Bind arms the stage schedule on a network. Call before the simulation
+// runs. Rejected stages only notify OnReject at their drain time.
+func (r *Reconfigurer) Bind(net *netsim.Network) {
+	for i := range r.Stages {
+		i := i
+		st := &r.Stages[i]
+		if st.Outcome != "" {
+			net.Sim.At(st.DrainAt, func() {
+				if r.OnReject != nil {
+					r.OnReject(net.Sim.Now(), i, r.Stages[i].Outcome)
+				}
+			})
+			continue
+		}
+		net.Sim.At(st.DrainAt, func() { r.drain(net, i) })
+		if st.PatchAt >= 0 {
+			net.Sim.At(st.PatchAt, func() { r.patch(net, i) })
+		}
+		net.Sim.At(st.CommitAt, func() { r.commit(net, i) })
+	}
+}
+
+// drain takes the stage's link set down; in-flight packets on those
+// links account as fault drops with PFC unwind.
+func (r *Reconfigurer) drain(net *netsim.Network, i int) {
+	st := &r.Stages[i]
+	for _, e := range st.Drained {
+		net.SetLinkDown(e, true)
+	}
+	if r.OnDrain != nil {
+		r.OnDrain(net.Sim.Now(), i, st.Drained)
+	}
+}
+
+// patch swaps degraded routes around the drained set: destinations
+// whose trees ride drained links move to shortest paths on the
+// surviving subgraph, everything else keeps its strategy rules.
+func (r *Reconfigurer) patch(net *netsim.Network, i int) {
+	st := &r.Stages[i]
+	if len(st.Drained) == 0 {
+		return // disjoint physical resources: nothing to route around
+	}
+	down := routing.Outage{Edge: map[int]bool{}}
+	for _, e := range st.Drained {
+		down.Edge[e] = true
+	}
+	base := &routing.Routes{Topo: r.g, Strategy: r.live.Strategy, NumVCs: r.live.NumVCs, Rules: r.orig}
+	rules, _ := routing.RepairAvoiding(base, down)
+	churn := routing.Churn(r.live.Rules, rules)
+	r.live.ReplaceRules(append([]routing.Rule(nil), rules...))
+	if r.OnPatch != nil {
+		r.OnPatch(net.Sim.Now(), i, churn)
+	}
+}
+
+// commit runs the control-plane switchover and either schedules the
+// reconverge stage (success) or rolls back immediately (failure): the
+// previous plan re-acquired, links restored, original rules swapped
+// back — the run completes on the old topology.
+func (r *Reconfigurer) commit(net *netsim.Network, i int) {
+	st := &r.Stages[i]
+	now := net.Sim.Now()
+	entries, rt, hw, err := r.switchover(st)
+	if err != nil {
+		st.Outcome = OutcomeRolledBack + ": " + err.Error()
+		if r.OnRollback != nil {
+			r.OnRollback(now, i, err.Error())
+		}
+		r.restore(net, i)
+		return
+	}
+	st.Outcome = OutcomeCommitted
+	st.Entries, st.ReconfigTime, st.HardwareCost = entries, rt, hw
+	if r.OnCommit != nil {
+		r.OnCommit(now, i, entries, rt, hw)
+	}
+	net.Sim.At(st.RestoreAt, func() { r.restore(net, i) })
+}
+
+// switchover is the control-plane half of commit: release the current
+// plan, project and verify the target, compile its flow tables for the
+// entry count, and derive the costmodel columns. On any failure the
+// previous plan is re-acquired before returning, so the allocation is
+// never left with leaked or double-booked ports.
+func (r *Reconfigurer) switchover(st *Stage) (entries int, rt time.Duration, hw float64, err error) {
+	prev := r.cur
+	prev.Release(r.alloc)
+	rollback := func(cause error) (int, time.Duration, float64, error) {
+		if aerr := prev.Acquire(r.alloc); aerr != nil {
+			// Cannot happen while the run owns its allocation (Release
+			// just freed exactly these ports), but never mask it.
+			return 0, 0, 0, fmt.Errorf("%v (rollback failed: %v)", cause, aerr)
+		}
+		return 0, 0, 0, cause
+	}
+	plan, perr := projection.ProjectInto(st.Target, r.cab, r.alloc, r.opt)
+	if perr != nil {
+		return rollback(perr)
+	}
+	fail := func(cause error) (int, time.Duration, float64, error) {
+		plan.Release(r.alloc)
+		return rollback(cause)
+	}
+	if cerr := plan.Check(); cerr != nil {
+		return fail(cerr)
+	}
+	if st.Validate != nil {
+		if verr := st.Validate(plan); verr != nil {
+			return fail(verr)
+		}
+	}
+	routes, rerr := routing.ForTopology(st.Target).Compute(st.Target)
+	if rerr != nil {
+		return fail(rerr)
+	}
+	switches, serr := projection.CompileFlowTables(plan, routes, projection.CompileOptions{Cookie: 1})
+	if serr != nil {
+		return fail(serr)
+	}
+	entries = projection.EntryCount(switches)
+	req := projection.Requirement{Method: projection.MethodSDT, Switches: plan.Stats().PhysicalSwitches, BandwidthFactor: 1}
+	rt = costmodel.ReconfigTime(req, entries)
+	hw = costmodel.HardwareCost(req)
+	if r.Spec.StageTimeout > 0 && rt > r.Spec.StageTimeout {
+		return fail(fmt.Errorf("reconfig: modelled install %v exceeds stage timeout %v", rt, r.Spec.StageTimeout))
+	}
+	r.cur = plan
+	return entries, rt, hw, nil
+}
+
+// restore is the reconverge stage (and the fabric half of rollback):
+// drained links come back up and the original full rules are swapped
+// in, invalidating the memoized FIB.
+func (r *Reconfigurer) restore(net *netsim.Network, i int) {
+	st := &r.Stages[i]
+	for _, e := range st.Drained {
+		net.SetLinkDown(e, false)
+	}
+	churn := routing.Churn(r.live.Rules, r.orig)
+	if churn != 0 {
+		r.live.ReplaceRules(append([]routing.Rule(nil), r.orig...))
+	}
+	if r.OnRestore != nil {
+		r.OnRestore(net.Sim.Now(), i, churn)
+	}
+}
+
+// Plan returns the currently committed projection plan: the running
+// topology's until a transition commits, then the last committed
+// target's.
+func (r *Reconfigurer) Plan() *projection.Plan { return r.cur }
+
+// Allocation exposes the run-private allocation (the fuzz target checks
+// its leak invariants against the resident plan).
+func (r *Reconfigurer) Allocation() *projection.Allocation { return r.alloc }

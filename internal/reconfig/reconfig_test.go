@@ -1,0 +1,297 @@
+package reconfig
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/partition"
+	"repro/internal/projection"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// fixture builds a paper-style cabling hosting both topologies, the
+// running fabric's route clone, and a network with no traffic — enough
+// to drive the full stage protocol through the engine.
+func fixture(t *testing.T, g, target *topology.Graph) (*projection.Cabling, *routing.Routes, *netsim.Network) {
+	t.Helper()
+	switches := []projection.PhysicalSwitch{
+		projection.H3CS6861("s6861-a"),
+		projection.H3CS6861("s6861-b"),
+		projection.H3CS6861("s6861-c"),
+	}
+	topos := []*topology.Graph{g}
+	if target != nil {
+		topos = append(topos, target)
+	}
+	cab, err := projection.PlanCabling(switches, topos, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.ForTopology(g).Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := routes.Clone()
+	live.Prime()
+	net, err := netsim.NewNetwork(g, netsim.NewRouteForwarder(live), netsim.DefaultConfig(), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cab, live, net
+}
+
+// allocCounts asserts the run-private allocation books exactly the
+// resident plan's resources — no leaks, no double-booking.
+func allocCounts(t *testing.T, r *Reconfigurer, plan *projection.Plan) {
+	t.Helper()
+	self, inter, host := r.Allocation().UsedCounts()
+	if self != plan.SelfUsed || inter != plan.InterUsed || host != len(plan.HostAttach) {
+		t.Fatalf("allocation books (self=%d inter=%d host=%d), resident plan %q needs (%d, %d, %d)",
+			self, inter, host, plan.Topo.Name, plan.SelfUsed, plan.InterUsed, len(plan.HostAttach))
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	g := topology.FatTree(4)
+	tgt := topology.Torus2D(4, 4, 1)
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"nil target", Spec{Transitions: []Transition{{At: netsim.Millisecond}}}, "nil target"},
+		{"non-positive time", Spec{Transitions: []Transition{{At: 0, Target: tgt}}}, "non-positive time"},
+		{"negative window", Spec{Transitions: []Transition{{At: netsim.Millisecond, Target: tgt, Drain: -1}}}, "negative stage window"},
+		{"overlap", Spec{Transitions: []Transition{
+			{At: netsim.Millisecond, Target: tgt},
+			{At: netsim.Millisecond + DefaultDrain, Target: tgt},
+		}}, "inside the previous"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.Schedule(g); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A valid spec resolves defaulted stage times deterministically.
+	spec := &Spec{Transitions: []Transition{{At: 2 * netsim.Millisecond, Target: tgt}}}
+	stages, err := spec.Schedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stages[0]
+	if st.CommitAt != st.DrainAt+DefaultDrain || st.RestoreAt != st.CommitAt+DefaultInstall {
+		t.Fatalf("stage times = %+v", st)
+	}
+	if st.PatchAt != st.DrainAt+DefaultPatchLatency {
+		t.Fatalf("patch at %d, want drain+%d", st.PatchAt, DefaultPatchLatency)
+	}
+	if a, b := Digest(stages), Digest(stages); a != b || a == "" {
+		t.Fatalf("digest unstable: %q vs %q", a, b)
+	}
+
+	// Patch disabled by a negative latency or one at/past the drain
+	// window.
+	for _, s := range []*Spec{
+		{Transitions: spec.Transitions, PatchLatency: -1},
+		{Transitions: spec.Transitions, PatchLatency: DefaultDrain},
+	} {
+		stages, err := s.Schedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stages[0].PatchAt != -1 {
+			t.Fatalf("PatchLatency %d: patch not disabled", s.PatchLatency)
+		}
+	}
+
+	// The zero spec is valid and schedules nothing.
+	if stages, err := (&Spec{}).Schedule(g); err != nil || len(stages) != 0 {
+		t.Fatalf("zero spec: %v, %d stages", err, len(stages))
+	}
+}
+
+// TestCommitProtocol drives a fat-tree → torus transition through the
+// engine and checks every stage effect: links drained then restored,
+// degraded rules swapped then the originals back, the target committed
+// with cost columns, and the allocation left booking exactly the
+// target's plan.
+func TestCommitProtocol(t *testing.T) {
+	g := topology.FatTree(4)
+	target := topology.Torus2D(4, 4, 1)
+	cab, live, net := fixture(t, g, target)
+	spec := &Spec{Transitions: []Transition{{At: netsim.Millisecond, Target: target}}}
+	rc, err := New(g, cab, live, spec, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &rc.Stages[0]
+	if st.Outcome != "" {
+		t.Fatalf("pre-rejected: %s", st.Outcome)
+	}
+	if len(st.Drained) == 0 {
+		t.Fatal("no drained links: the target claims none of the running topology's cables")
+	}
+
+	var drainedDown, patchChurn, restoreChurn int
+	rc.OnDrain = func(_ netsim.Time, _ int, drained []int) {
+		for _, e := range drained {
+			if net.LinkIsDown(e) {
+				drainedDown++
+			}
+		}
+	}
+	rc.OnPatch = func(_ netsim.Time, _ int, churn int) { patchChurn = churn }
+	rc.OnRestore = func(_ netsim.Time, _ int, churn int) { restoreChurn = churn }
+	rc.Bind(net)
+	net.Sim.Run(0)
+
+	if drainedDown != len(st.Drained) {
+		t.Fatalf("%d/%d drained links down", drainedDown, len(st.Drained))
+	}
+	if patchChurn == 0 || restoreChurn == 0 {
+		t.Fatalf("no rule churn: patch=%d restore=%d", patchChurn, restoreChurn)
+	}
+	if st.Outcome != OutcomeCommitted {
+		t.Fatalf("outcome = %q", st.Outcome)
+	}
+	if st.Entries <= 0 || st.ReconfigTime <= 0 || st.HardwareCost <= 0 {
+		t.Fatalf("cost columns = %d entries, %v, $%v", st.Entries, st.ReconfigTime, st.HardwareCost)
+	}
+	if rc.Plan().Topo != target {
+		t.Fatalf("committed plan is for %q", rc.Plan().Topo.Name)
+	}
+	allocCounts(t, rc, rc.Plan())
+	for _, e := range st.Drained {
+		if net.LinkIsDown(e) {
+			t.Fatalf("link %d still down after reconverge", e)
+		}
+	}
+	if churn := routing.Churn(live.Rules, freshRules(t, g)); churn != 0 {
+		t.Fatalf("live rules differ from the strategy's after restore: churn=%d", churn)
+	}
+}
+
+// freshRules recomputes the strategy rules for comparison.
+func freshRules(t *testing.T, g *topology.Graph) []routing.Rule {
+	t.Helper()
+	r, err := routing.ForTopology(g).Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Rules
+}
+
+// TestRollbackOnValidateFailure: an injected Plan.Check-stage failure
+// aborts the transition; the fabric and allocation return to the old
+// topology and the run completes.
+func TestRollbackOnValidateFailure(t *testing.T) {
+	g := topology.FatTree(4)
+	target := topology.Torus2D(4, 4, 1)
+	cab, live, net := fixture(t, g, target)
+	injected := errors.New("injected plan-check failure")
+	spec := &Spec{Transitions: []Transition{{
+		At: netsim.Millisecond, Target: target,
+		Validate: func(*projection.Plan) error { return injected },
+	}}}
+	rc, err := New(g, cab, live, spec, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rollbackReason string
+	rc.OnRollback = func(_ netsim.Time, _ int, reason string) { rollbackReason = reason }
+	rc.Bind(net)
+	net.Sim.Run(0)
+
+	st := &rc.Stages[0]
+	if !strings.HasPrefix(st.Outcome, OutcomeRolledBack) || !strings.Contains(rollbackReason, "injected") {
+		t.Fatalf("outcome = %q, reason = %q", st.Outcome, rollbackReason)
+	}
+	if rc.Plan().Topo != g {
+		t.Fatalf("plan after rollback is for %q, want the old topology", rc.Plan().Topo.Name)
+	}
+	allocCounts(t, rc, rc.Plan())
+	for _, e := range st.Drained {
+		if net.LinkIsDown(e) {
+			t.Fatalf("link %d still down after rollback", e)
+		}
+	}
+	if churn := routing.Churn(live.Rules, freshRules(t, g)); churn != 0 {
+		t.Fatalf("live rules not restored after rollback: churn=%d", churn)
+	}
+}
+
+// TestStageTimeoutRollback: a modelled install time beyond the spec's
+// stage timeout aborts to rollback.
+func TestStageTimeoutRollback(t *testing.T) {
+	g := topology.FatTree(4)
+	target := topology.Torus2D(4, 4, 1)
+	cab, live, net := fixture(t, g, target)
+	spec := &Spec{
+		Transitions:  []Transition{{At: netsim.Millisecond, Target: target}},
+		StageTimeout: time.Nanosecond,
+	}
+	rc, err := New(g, cab, live, spec, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Bind(net)
+	net.Sim.Run(0)
+	if !strings.Contains(rc.Stages[0].Outcome, "stage timeout") {
+		t.Fatalf("outcome = %q", rc.Stages[0].Outcome)
+	}
+	allocCounts(t, rc, rc.Plan())
+}
+
+// TestRejectBeforeDrain: a target that cannot be projected at all is
+// rejected at New time and never touches the fabric.
+func TestRejectBeforeDrain(t *testing.T) {
+	g := topology.FatTree(4)
+	cab, live, net := fixture(t, g, nil) // cabling planned for g only
+	spec := &Spec{Transitions: []Transition{{At: netsim.Millisecond, Target: topology.FatTree(8)}}}
+	rc, err := New(g, cab, live, spec, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &rc.Stages[0]
+	if !strings.HasPrefix(st.Outcome, OutcomeRejected) || len(st.Drained) != 0 {
+		t.Fatalf("outcome = %q, drained = %v", st.Outcome, st.Drained)
+	}
+	rejected := false
+	rc.OnReject = func(_ netsim.Time, _ int, _ string) { rejected = true }
+	rc.Bind(net)
+	net.Sim.Run(0)
+	if !rejected {
+		t.Fatal("OnReject never fired")
+	}
+	for eid := range g.Edges {
+		if net.LinkIsDown(eid) {
+			t.Fatalf("rejected transition drained link %d", eid)
+		}
+	}
+	allocCounts(t, rc, rc.Plan())
+}
+
+// TestDrainSetDeterministic: equal inputs give byte-identical schedules
+// and drained sets across repeated construction.
+func TestDrainSetDeterministic(t *testing.T) {
+	g := topology.FatTree(4)
+	target := topology.Dragonfly(4, 9, 2, 1)
+	var digests []string
+	for rep := 0; rep < 2; rep++ {
+		cab, live, _ := fixture(t, g, target)
+		spec := &Spec{Transitions: []Transition{{At: netsim.Millisecond, Target: target}}}
+		rc, err := New(g, cab, live, spec, partition.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, Digest(rc.Stages))
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("drain schedule diverged:\n%s\nvs\n%s", digests[0], digests[1])
+	}
+}

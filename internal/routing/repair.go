@@ -185,6 +185,29 @@ func alivePortTo(csr *topology.CSR, from, to int, down Outage) (port, edge int) 
 	return int(csr.Port[best]), int(csr.Edge[best])
 }
 
+// Churn counts the symmetric difference between two rule sets — the
+// number of flow-mods (adds + removals) a controller would push to move
+// the fabric from old to new. Both the reactive fault rerouter and the
+// reconfiguration protocol report it as their rule-churn column.
+func Churn(old, new []Rule) int {
+	seen := make(map[Rule]int, len(old))
+	for _, r := range old {
+		seen[r]++
+	}
+	churn := 0
+	for _, r := range new {
+		if seen[r] > 0 {
+			seen[r]--
+		} else {
+			churn++ // added
+		}
+	}
+	for _, n := range seen {
+		churn += n // removed
+	}
+	return churn
+}
+
 // Clone returns an independent copy of the route set sharing the
 // topology but owning its rules and derived structures — the private
 // working set a fault run mutates mid-simulation without touching the

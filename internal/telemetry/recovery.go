@@ -98,11 +98,15 @@ func (r *Recovery) Format(w io.Writer) {
 	fmt.Fprintf(w, "packets lost to faults: %d, flows incomplete: %d\n", r.PacketsLost, r.Incomplete)
 }
 
-// RecoveryTracker accumulates recovery metrics during one fault run.
+// RecoveryTracker accumulates recovery metrics during one fault or
+// reconfiguration run (the Transition* methods in reconfig.go record
+// the latter; both share the first-delivery capture below).
 type RecoveryTracker struct {
-	rec     Recovery
-	net     *netsim.Network
-	pending int // repairs awaiting their first delivery
+	rec          Recovery
+	trans        []TransitionRecord
+	net          *netsim.Network
+	pending      int // repairs awaiting their first delivery
+	transPending int // restored transitions awaiting their first delivery
 }
 
 // NewRecoveryTracker builds a tracker for one network.
@@ -134,8 +138,9 @@ func (t *RecoveryTracker) Repaired(now netsim.Time, rulesChanged int) {
 	}
 }
 
-// onDeliver stamps every repaired-but-unconfirmed fault whose repair
-// time has passed, then detaches once nothing is pending.
+// onDeliver stamps every repaired-but-unconfirmed fault and every
+// restored-but-unconfirmed transition whose repair/restore time has
+// passed, then detaches once nothing is pending.
 func (t *RecoveryTracker) onDeliver(now netsim.Time) {
 	for i := range t.rec.Events {
 		e := &t.rec.Events[i]
@@ -144,7 +149,14 @@ func (t *RecoveryTracker) onDeliver(now netsim.Time) {
 			t.pending--
 		}
 	}
-	if t.pending == 0 {
+	for i := range t.trans {
+		e := &t.trans[i]
+		if e.RestoreAt >= 0 && e.FirstDeliveryAfter < 0 && now >= e.RestoreAt {
+			e.FirstDeliveryAfter = now
+			t.transPending--
+		}
+	}
+	if t.pending == 0 && t.transPending == 0 {
 		t.net.OnDeliver = nil
 	}
 }

@@ -33,9 +33,9 @@
 // For a fixed shard count results are byte-identical across reruns,
 // machines and worker counts (Shards=1 matches the serial engine
 // exactly; different counts are distinct deterministic schedules), and
-// runs the executor cannot shard — faults, SDT mode, Tick observers,
-// zero propagation delay — silently fall back to serial, reported via
-// RunResult.Shards.
+// runs the executor cannot shard — faults, reconfiguration, SDT mode,
+// Tick observers, zero propagation delay — silently fall back to
+// serial, reported via RunResult.Shards.
 //
 // Quickstart:
 //
@@ -87,6 +87,23 @@
 //	})
 //	res.Recovery.Format(os.Stdout) // repair + reconvergence per fault
 //
+// Or a ReconfigSpec — live topology transitions mid-run. Each executes
+// the staged drain→transition→reconverge protocol: the links the target
+// topology claims drain first, the target is projected, checked, and
+// compiled at the control plane (any failure aborts to a rollback onto
+// the old topology), and the fabric then reconverges. The testbed must
+// be cabled for both topologies:
+//
+//	tb, err := sdt.PaperTestbed([]*sdt.Topology{topo, target})
+//	...
+//	res, err := sdt.Run(ctx, tb, sdt.Scenario{
+//		Topo: topo, Flows: fs.Flows,
+//		Reconfig: &sdt.ReconfigSpec{Transitions: []sdt.ReconfigTransition{
+//			{At: sdt.Millisecond, Target: target},
+//		}},
+//	})
+//	res.Reconfig.Format(os.Stdout) // loss, churn, reconvergence, cost columns
+//
 // The older positional entry points (Testbed.RunTrace,
 // Testbed.RunBatch) remain as deprecated thin wrappers over Run/Sweep
 // and produce identical results.
@@ -104,6 +121,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/partition"
 	"repro/internal/projection"
+	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -395,6 +413,32 @@ type Recovery = telemetry.Recovery
 
 // RecoveryEvent is the lifecycle of one fault in a Recovery.
 type RecoveryEvent = telemetry.RecoveryEvent
+
+// ReconfigSpec schedules live topology transitions during a run.
+// Attach one via Scenario.Reconfig — each transition executes the
+// staged drain→transition→reconverge protocol: the physical links the
+// target claims drain first (in-flight packets drop, PFC trees unwind),
+// the target is then projected, checked, and compiled at the control
+// plane with abort-to-rollback on any failure, and finally the fabric
+// reconverges while the run result's Reconfig report records packets
+// lost, reconvergence time, rule churn, and the cost-model downtime and
+// price columns. Equal specs expand to byte-identical schedules.
+// Mutually exclusive with Scenario.Faults.
+type ReconfigSpec = reconfig.Spec
+
+// ReconfigTransition is one timed topology transition in a
+// ReconfigSpec: the target graph, the absolute drain time, optional
+// stage-window overrides, and an optional validation hook that can veto
+// the commit (forcing a rollback).
+type ReconfigTransition = reconfig.Transition
+
+// ReconfigReport summarises a reconfiguration run (available as
+// RunResult.Reconfig).
+type ReconfigReport = telemetry.ReconfigReport
+
+// TransitionRecord is the lifecycle of one topology transition in a
+// ReconfigReport.
+type TransitionRecord = telemetry.TransitionRecord
 
 // MeasureFCT buckets a finished flow schedule into FCT/slowdown
 // percentiles per flow-size bucket.
