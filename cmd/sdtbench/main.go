@@ -8,6 +8,7 @@
 // Usage:
 //
 //	sdtbench -list
+//	sdtbench -list -json
 //	sdtbench -exp all
 //	sdtbench -exp fig11 -parallel 0
 //	sdtbench -exp table4 -ranks 16
@@ -21,7 +22,9 @@
 //
 // -list prints every registered scenario set with its one-line
 // description (the registry is the source of truth — see WORKLOADS.md
-// for the workload catalogue behind them).
+// for the workload catalogue behind them). With -json it emits the
+// machine-readable registry instead — names, descriptions, and each
+// set's param schema — the same document sdtd serves at /v1/scenarios.
 //
 // -parallel N runs sweep experiments one independent simulation per
 // worker (0 = all cores). Simulated results are identical at any
@@ -46,16 +49,15 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/netsim"
 )
@@ -101,6 +103,26 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		if *jsonOut {
+			// Machine-readable listing: names, descriptions, and the
+			// registered param schemas (the same document the daemon's
+			// /v1/scenarios serves).
+			type listEntry struct {
+				Name   string              `json:"name"`
+				Desc   string              `json:"desc"`
+				Params []experiments.Field `json:"params,omitempty"`
+			}
+			var out []listEntry
+			for _, e := range experiments.All() {
+				out = append(out, listEntry{Name: e.Name, Desc: e.Desc, Params: e.Schema})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				fatal("json", err)
+			}
+			return
+		}
 		for _, e := range experiments.All() {
 			fmt.Printf("%-16s %s\n", e.Name, e.Desc)
 		}
@@ -138,9 +160,10 @@ func main() {
 		}
 	}
 
-	// Ctrl-C cancels the in-flight simulation mid-run (the engine polls
-	// the stop flag every StopStride events), not just between runs.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C (or SIGTERM) cancels the in-flight simulation mid-run (the
+	// engine polls the stop flag every StopStride events), not just
+	// between runs — the same shutdown path sdtd's drain uses.
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	if *jsonOut {
@@ -198,10 +221,6 @@ func measure(ctx context.Context, e experiments.Entry, p experiments.Params) (ex
 }
 
 func fatal(name string, err error) {
-	code := 1
-	if errors.Is(err, context.Canceled) {
-		code = 130 // interrupted
-	}
 	fmt.Fprintf(os.Stderr, "sdtbench: %s: %v\n", name, err)
-	os.Exit(code)
+	os.Exit(cli.ExitCode(err))
 }

@@ -1,0 +1,20 @@
+package main
+
+// The service-cache scenario set is implemented by internal/service
+// (service.CacheBench) but registered here: the service package
+// imports internal/experiments for the registry and job specs, so
+// registering from inside the registry's own package tree would cycle.
+// sdtbench sits above both, which makes it the natural wiring point —
+// and puts the daemon's cache trajectory into `sdtbench -exp all
+// -json` alongside every other experiment.
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func init() {
+	experiments.Register(170, "service-cache",
+		"sdtd service: content-addressed result cache, cold run vs cache hit over loopback HTTP",
+		service.CacheBench, service.CacheBenchSchema...)
+}

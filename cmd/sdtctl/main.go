@@ -15,6 +15,12 @@
 // mask the rest); any check, deploy, or reconfigure failure exits
 // non-zero. -json replaces the human-readable lines with one
 // machine-readable JSON document (mirroring sdtbench -json).
+//
+// With -daemon ADDR, sdtctl is instead a client of a running sdtd
+// simulation service — submit/status/result/cancel/scenarios/stats
+// (see daemon.go for the action flags):
+//
+//	sdtctl -daemon :7390 -submit loadgen-sweep -spec '{"seed":7}' -wait
 package main
 
 import (
@@ -68,6 +74,10 @@ func run() int {
 	lossless := flag.Bool("lossless", true, "require deadlock-free routes (PFC operation)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document instead of lines")
 	flag.Parse()
+
+	if *daemonAddr != "" {
+		return daemonMain(*jsonOut)
+	}
 
 	report := ctlReport{Switches: *nSwitches, Ports: *ports, OK: true}
 	say := func(format string, args ...any) {

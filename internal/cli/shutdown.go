@@ -1,0 +1,38 @@
+// Package cli holds the small pieces the sdt* commands share: the
+// graceful-shutdown signal context and the exit-code convention.
+// sdtbench uses it for Ctrl-C (cancel in-flight simulations mid-run,
+// exit 130); sdtd uses it for SIGTERM (drain running jobs, exit 0 on a
+// clean drain, 130 when the grace period forced a hard cancel).
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM —
+// the interactive and the orchestrated shutdown signal respectively.
+// A second signal while the first is being handled kills the process
+// the default way (signal.NotifyContext unregisters on cancellation),
+// so a stuck drain can always be overridden from the keyboard.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ExitCode maps a command's terminal error to its exit status:
+// 0 for success, 130 for an interrupted run (context cancelled or a
+// drain grace period expired — the shell convention for "stopped by
+// signal"), 1 for everything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 130
+	default:
+		return 1
+	}
+}

@@ -28,6 +28,14 @@ import (
 // engine.StopStride events, so cancellation lands mid-simulation and
 // Run returns ctx.Err(). Options override the corresponding scenario
 // fields.
+//
+// Cancellation contract: a cancelled Run returns (nil, ctx.Err()) —
+// never a partial RunResult. A simulation stopped at an arbitrary
+// event-stride boundary has internally inconsistent counters (packets
+// mid-flight, trackers mid-window), so no RunResult is synthesized
+// from it; per-flow progress a caller owns (Scenario.Flows completion
+// fields) is still as the engine left it. Pinned by
+// TestCancelContract.
 func Run(ctx context.Context, tb *Testbed, sc Scenario, opts ...Option) (*RunResult, error) {
 	return runScenario(ctx, tb, sc, newRunConfig(opts))
 }
@@ -49,6 +57,15 @@ type Job struct {
 // mid-run and prevents new jobs from starting; Sweep then returns
 // ctx.Err(). As with RunBatch, Simulator-mode Wall/Eval columns
 // measure contended wall clock when workers > 1.
+//
+// Cancellation contract: when Sweep returns an error after jobs have
+// started — cancellation included — it returns the PARTIAL results
+// slice alongside the error: out[i] is non-nil exactly for the jobs
+// that completed before the failure, nil for jobs that were cancelled
+// mid-run or never started. Callers that only want all-or-nothing keep
+// ignoring the slice on error; callers like a draining service salvage
+// the completed entries. A Sweep that fails validation before starting
+// any job returns (nil, err). Pinned by TestCancelContract.
 func Sweep(ctx context.Context, jobs []Job, opts ...Option) ([]*RunResult, error) {
 	cfg := newRunConfig(opts)
 	seen := map[*topology.Graph]bool{}
@@ -88,10 +105,10 @@ func Sweep(ctx context.Context, jobs []Job, opts ...Option) ([]*RunResult, error
 		out[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	// Partial results survive an error: ForEach has joined every started
+	// worker by now, so the slice is quiescent and out[i] != nil marks
+	// exactly the completed jobs.
+	return out, err
 }
 
 // ForEach is ParallelFor with cooperative cancellation: once ctx ends

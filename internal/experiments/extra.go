@@ -39,7 +39,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldBytes)
 	Register(90, "tables", "§VII-C: flow-table occupancy, merged vs naive encoding",
 		func(_ context.Context, _ Params, w io.Writer) error {
 			r, err := FlowTableUsage()

@@ -32,7 +32,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldFaults, FieldWorkers, FieldShards)
 	Register(130, "faults-flap", "faults: single-link MTBF/MTTR flapping under incast, recovery metrics per flap rate",
 		func(ctx context.Context, p Params, w io.Writer) error {
 			r, err := FaultFlap(ctx, p)
@@ -41,7 +41,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldMTBF, FieldWorkers, FieldShards)
 }
 
 // Sweep fault geometry, relative to the flow schedule's injection

@@ -21,7 +21,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldReps, FieldWorkers)
 }
 
 // Fig11Point is one message length of the latency-overhead sweep.

@@ -22,7 +22,7 @@ func init() {
 				r.Format(w)
 			}
 			return nil
-		})
+		}, FieldDur, FieldWorkers)
 }
 
 // Fig12Flow is one sender's bandwidth series in the incast test.

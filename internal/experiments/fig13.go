@@ -21,7 +21,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldBytes, FieldReps, FieldWorkers, FieldShards)
 }
 
 // Fig13Point is one node count of the evaluation-time scaling study.

@@ -12,10 +12,11 @@ package experiments
 //	go test ./internal/experiments -run TestGolden -update
 //
 // Wall-clock-derived columns (fig13's sim eval / sim-vs-full factor,
-// table4's eval(sim) / speedup) are masked before comparison; every
-// other byte must match. The parallel pass re-runs each set with
-// worker fan-out and demands the same masked output, pinning the
-// any-worker-count determinism contract.
+// table4's eval(sim) / speedup) are masked before comparison via Scrub
+// (scrub.go — shared with the service cache's hit-vs-fresh-run
+// verification); every other byte must match. The parallel pass
+// re-runs each set with worker fan-out and demands the same masked
+// output, pinning the any-worker-count determinism contract.
 
 import (
 	"bytes"
@@ -24,8 +25,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 
@@ -52,69 +51,6 @@ func goldenParams() Params {
 	}
 }
 
-// goldenScrub maps experiment names whose output contains wall-clock-
-// derived columns to a canonicalising scrubber. Experiments not listed
-// compare byte-for-byte.
-var goldenScrub = map[string]func(string) string{
-	// fig13 data rows: nodes, ACT, full eval, SDT eval, sim eval,
-	// SDT/full, sim/full — sim eval (4) and sim/full (6) are wall.
-	"fig13": maskColumns(func(f []string) bool {
-		if len(f) != 7 {
-			return false
-		}
-		_, err := strconv.Atoi(f[0])
-		return err == nil
-	}, 4, 6),
-	// table4 data rows: app, topology, ranks, ACT(SDT), ACT(sim), dev,
-	// eval(SDT), eval(sim), speedup — eval(sim) (7) and speedup (8)
-	// are wall.
-	"table4": maskColumns(func(f []string) bool {
-		if len(f) != 9 {
-			return false
-		}
-		_, err := strconv.Atoi(f[2])
-		return err == nil
-	}, 7, 8),
-	// shard-scale data rows: K, shards, ACT, drops, events, wall,
-	// speedup — wall (5) and speedup (6) are wall-clock-derived; the
-	// header also reports the host's CPU count.
-	"shard-scale": func(out string) string {
-		out = maskColumns(func(f []string) bool {
-			if len(f) != 7 {
-				return false
-			}
-			_, err := strconv.Atoi(f[0])
-			return err == nil
-		}, 5, 6)(out)
-		return cpuCountRe.ReplaceAllString(out, "<cpus> CPUs")
-	},
-}
-
-var cpuCountRe = regexp.MustCompile(`\d+ CPUs`)
-
-// maskColumns canonicalises whitespace (fields joined by one space, so
-// masked values of different widths cannot shift layout) and replaces
-// the given field indices with "<wall>" on lines the predicate
-// accepts.
-func maskColumns(isDataRow func(fields []string) bool, cols ...int) func(string) string {
-	return func(out string) string {
-		lines := strings.Split(out, "\n")
-		for i, line := range lines {
-			f := strings.Fields(line)
-			if len(f) == 0 {
-				continue
-			}
-			if isDataRow(f) {
-				for _, c := range cols {
-					f[c] = "<wall>"
-				}
-			}
-			lines[i] = strings.Join(f, " ")
-		}
-		return strings.Join(lines, "\n")
-	}
-}
-
 func goldenPath(name string) string {
 	return filepath.Join("testdata", "golden", name+".txt")
 }
@@ -137,11 +73,7 @@ func runGolden(t *testing.T, e Entry, p Params) string {
 	if err := e.Run(context.Background(), p, &buf); err != nil {
 		t.Fatalf("%s: %v", e.Name, err)
 	}
-	out := buf.String()
-	if scrub := goldenScrub[e.Name]; scrub != nil {
-		out = scrub(out)
-	}
-	return out
+	return Scrub(e.Name, buf.String())
 }
 
 func TestGoldenOutputs(t *testing.T) {

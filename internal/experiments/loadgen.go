@@ -28,7 +28,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldWorkers, FieldShards)
 	Register(110, "loadgen-incast", "loadgen: incast N:1 fan-in sweep on fat-tree, FCT tail at the victim under PFC",
 		func(ctx context.Context, p Params, w io.Writer) error {
 			r, err := LoadIncast(ctx, p)
@@ -37,7 +37,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldLoad, FieldWorkers, FieldShards)
 }
 
 // sweepBuckets are the FCT size-bucket boundaries of the loadgen

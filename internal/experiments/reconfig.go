@@ -36,7 +36,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldWorkers, FieldShards)
 	Register(160, "reconfig-under-load", "reconfig: fat-tree transition under incast/permutation load, FCT before/during/after the disruption",
 		func(ctx context.Context, p Params, w io.Writer) error {
 			r, err := ReconfigUnderLoad(ctx, p)
@@ -45,7 +45,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldLoad, FieldReconfig, FieldWorkers, FieldShards)
 }
 
 // Transition geometry, relative to the flow schedule's injection window

@@ -63,6 +63,38 @@ type Params struct {
 // simulation the runner starts.
 type Runner func(ctx context.Context, p Params, w io.Writer) error
 
+// Field is one machine-readable parameter a scenario set reads: its
+// wire name (the JobSpec JSON key / sdtbench flag), its type, and the
+// default the experiment applies when the field is zero. Registered
+// schemas feed `sdtbench -list -json` and the service's /v1/scenarios
+// listing, so clients can discover a set's knobs without reading code.
+type Field struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	Default string `json:"default"`
+	Desc    string `json:"desc,omitempty"`
+}
+
+// The canonical field descriptors: every registration reuses these so
+// the same knob carries the same name/type everywhere. Defaults mirror
+// the Params documentation (and the sdtbench flag defaults where the
+// experiment defers to the CLI).
+var (
+	FieldRanks    = Field{"ranks", "int", "16", "MPI rank count"}
+	FieldReps     = Field{"reps", "int", "8", "repetitions (pingpongs / alltoall rounds)"}
+	FieldBytes    = Field{"bytes", "int", "262144", "message size in bytes"}
+	FieldZoo      = Field{"zoo", "int", "0", "Topology-Zoo subset size (0 = all 261)"}
+	FieldDur      = Field{"dur_ms", "float64", "1000", "simulated measurement window in ms"}
+	FieldWorkers  = Field{"workers", "int", "1", "sweep fan-out, one simulation per worker (0 = all cores)"}
+	FieldSeed     = Field{"seed", "int64", "1", "loadgen schedule seed (equal seeds rerun byte-identical)"}
+	FieldFlows    = Field{"flows", "int", "0", "loadgen flows per grid cell (0 = experiment default)"}
+	FieldLoad     = Field{"load", "float64", "0.8", "loadgen victim load factor in (0, 1]"}
+	FieldFaults   = Field{"faults", "int", "0", "link-failure count per cell (0 = the {1,2,4} grid)"}
+	FieldMTBF     = Field{"mtbf_ms", "float64", "0", "link MTBF in ms, MTTR = MTBF/4 (0 = the {1,2,4,8} ms grid)"}
+	FieldReconfig = Field{"reconfig", "string", "dragonfly", "transition target topology: dragonfly|torus"}
+	FieldShards   = Field{"shards", "int", "0", "intra-run shard engines per simulation (0/1 = serial)"}
+)
+
 // Entry is one registered scenario set.
 type Entry struct {
 	// Name is the lookup key (the sdtbench -exp value).
@@ -71,22 +103,27 @@ type Entry struct {
 	Desc string
 	// Run executes the scenario set.
 	Run Runner
+	// Schema lists the parameters this set reads (empty = the set is
+	// parameter-free; Workers-style execution knobs are listed too, even
+	// though they never change simulated results).
+	Schema []Field
 
 	order int
 }
 
 var registry []Entry
 
-// Register adds a scenario set under a presentation-order index.
+// Register adds a scenario set under a presentation-order index, with
+// the machine-readable schema of the Params fields the set reads.
 // Duplicate names panic: the registry is wired at init time and a
 // collision is a programming error.
-func Register(order int, name, desc string, run Runner) {
+func Register(order int, name, desc string, run Runner, schema ...Field) {
 	for _, e := range registry {
 		if e.Name == name {
 			panic("experiments: duplicate registration of " + name)
 		}
 	}
-	registry = append(registry, Entry{Name: name, Desc: desc, Run: run, order: order})
+	registry = append(registry, Entry{Name: name, Desc: desc, Run: run, Schema: schema, order: order})
 }
 
 // Lookup finds a scenario set by name.

@@ -34,7 +34,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldSeed, FieldFlows, FieldLoad)
 }
 
 // shardScaleConfig is the fabric the scaling study runs on: 100G links

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// pinnedSpecHash is the recorded content hash of pinnedSpec below. It
+// pins the canonical encoding across process restarts, Go versions,
+// and machines: if this test ever fails without a deliberate
+// specHashDomain bump, on-disk cache entries written by older builds
+// would be misattributed.
+const pinnedSpecHash = "e99eddac182c4365434a45282148e3403b1d4ef55dcb80ddcd8d1892cd150577"
+
+func pinnedSpec() JobSpec {
+	return JobSpec{
+		Scenario: "loadgen-sweep",
+		Seed:     7,
+		Flows:    48,
+		Workers:  3, // excluded from the hash
+		Shards:   2,
+	}
+}
+
+func TestSpecHashPinned(t *testing.T) {
+	got := pinnedSpec().Hash()
+	if got != pinnedSpecHash {
+		t.Fatalf("canonical spec hash changed:\n got %s\nwant %s\n(bump specHashDomain if the encoding changed deliberately)", got, pinnedSpecHash)
+	}
+}
+
+func TestSpecHashRoundTrip(t *testing.T) {
+	s := pinnedSpec()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("spec round-trip mutated the value: %+v vs %+v", back, s)
+	}
+	if back.Hash() != s.Hash() {
+		t.Fatalf("spec round-trip changed the hash")
+	}
+}
+
+func TestSpecHashFieldOrderIndependent(t *testing.T) {
+	// The same spec spelled with fields in two different orders (and
+	// with explicit zeros for omitted fields) must hash identically:
+	// the hash covers the canonical re-serialization, not the input.
+	inputs := []string{
+		`{"scenario":"loadgen-sweep","seed":7,"flows":48,"shards":2}`,
+		`{"shards":2,"flows":48,"scenario":"loadgen-sweep","seed":7}`,
+		`{"seed":7,"scenario":"loadgen-sweep","ranks":0,"flows":48,"shards":2,"load":0}`,
+	}
+	var want string
+	for i, in := range inputs {
+		var s JobSpec
+		if err := json.Unmarshal([]byte(in), &s); err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		h := s.Hash()
+		if i == 0 {
+			want = h
+		} else if h != want {
+			t.Errorf("input %d hashed to %s, want %s", i, h, want)
+		}
+	}
+}
+
+func TestSpecHashDistinguishesResults(t *testing.T) {
+	base := pinnedSpec()
+	seen := map[string]string{base.Hash(): "base"}
+	for name, mut := range map[string]func(*JobSpec){
+		"seed":     func(s *JobSpec) { s.Seed = 8 },
+		"shards":   func(s *JobSpec) { s.Shards = 4 },
+		"flows":    func(s *JobSpec) { s.Flows = 96 },
+		"scenario": func(s *JobSpec) { s.Scenario = "loadgen-incast" },
+		"load":     func(s *JobSpec) { s.Load = 0.5 },
+		"dur":      func(s *JobSpec) { s.DurMs = 50 },
+	} {
+		s := base
+		mut(&s)
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutating %s collided with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestSpecHashNormalization(t *testing.T) {
+	// Workers never changes simulated results (golden-pinned), so it
+	// must not split the cache; Seed 0 is documented as 1 everywhere.
+	base := pinnedSpec()
+	w := base
+	w.Workers = 0
+	if w.Hash() != base.Hash() {
+		t.Errorf("workers split the cache key")
+	}
+	zero, one := base, base
+	zero.Seed, one.Seed = 0, 1
+	if zero.Hash() != one.Hash() {
+		t.Errorf("seed 0 and its documented default 1 hash differently")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := pinnedSpec()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, s := range map[string]JobSpec{
+		"empty":    {},
+		"unknown":  {Scenario: "no-such-set"},
+		"negative": {Scenario: "fig12", Reps: -1},
+		"load>1":   {Scenario: "loadgen-incast", Load: 1.5},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s spec accepted", name)
+		}
+	}
+}
+
+func TestSpecParamsUnits(t *testing.T) {
+	s := JobSpec{Scenario: "fig12", DurMs: 50, MTBFMs: 2.5}
+	p := s.Params()
+	if p.Duration != 50*netsim.Millisecond {
+		t.Errorf("dur_ms 50 -> %v", p.Duration)
+	}
+	if want := netsim.Time(2.5 * float64(netsim.Millisecond)); p.MTBF != want {
+		t.Errorf("mtbf_ms 2.5 -> %v want %v", p.MTBF, want)
+	}
+}
+
+// TestSchemaRegistered pins that every registered scenario set carries
+// a schema naming only canonical field descriptors, and that seeded
+// sets declare their seed.
+func TestSchemaRegistered(t *testing.T) {
+	canon := map[string]Field{}
+	for _, f := range []Field{FieldRanks, FieldReps, FieldBytes, FieldZoo, FieldDur,
+		FieldWorkers, FieldSeed, FieldFlows, FieldLoad, FieldFaults, FieldMTBF,
+		FieldReconfig, FieldShards} {
+		canon[f.Name] = f
+	}
+	for _, e := range All() {
+		seen := map[string]bool{}
+		for _, f := range e.Schema {
+			c, ok := canon[f.Name]
+			if !ok {
+				t.Errorf("%s: schema field %q is not a canonical descriptor", e.Name, f.Name)
+				continue
+			}
+			if f != c {
+				t.Errorf("%s: schema field %q diverges from the canonical descriptor", e.Name, f.Name)
+			}
+			if seen[f.Name] {
+				t.Errorf("%s: schema field %q repeated", e.Name, f.Name)
+			}
+			seen[f.Name] = true
+		}
+	}
+}

@@ -22,7 +22,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldZoo, FieldWorkers)
 }
 
 // Table2Row compares one TP method across the paper's workload set:

@@ -22,7 +22,7 @@ func init() {
 			}
 			r.Format(w)
 			return nil
-		})
+		}, FieldRanks, FieldWorkers, FieldShards)
 }
 
 // Table4Cell is one (application, topology) evaluation: ACT on SDT vs

@@ -1,0 +1,102 @@
+package service
+
+// The service-cache scenario set: an end-to-end exercise of the
+// daemon over a loopback HTTP server — submit a small fig12 job cold,
+// submit the identical spec again, and report the cache-hit latency
+// against the cold run. It records the service_cache_* metrics the
+// BENCH_<pr>.json perf trajectory tracks.
+//
+// This runner lives in the service package but is REGISTERED by
+// cmd/sdtbench, not by an init here: internal/service imports
+// internal/experiments (registry, spec), so an in-registry
+// registration would cycle. The CLI sits above both and wires them
+// together (see cmd/sdtbench's service.go).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+// CacheBenchSchema is the param schema for the registered set.
+var CacheBenchSchema = []experiments.Field{experiments.FieldSeed, experiments.FieldDur}
+
+// CacheBench is the experiments.Runner for "service-cache".
+func CacheBench(ctx context.Context, p experiments.Params, w io.Writer) error {
+	srv, err := New(Config{Workers: 1, QueueCap: 4, CacheBytes: 8 << 20})
+	if err != nil {
+		return err
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+	}()
+	client := NewClient(hs.URL)
+
+	// A small fig12 panel sweep: ~tens of ms cold, so the experiment
+	// stays cheap inside `sdtbench -exp all` while leaving a cold/hit
+	// gap of several orders of magnitude for the trajectory to track.
+	durMs := 10.0
+	if p.Duration > 0 {
+		durMs = float64(p.Duration) / float64(netsim.Millisecond) / 100
+	}
+	spec := JobSpec{Scenario: "fig12", DurMs: durMs, Seed: p.Seed}
+
+	run := func() (JobStatus, []byte, time.Duration, error) {
+		start := time.Now()
+		st, err := client.Submit(ctx, spec)
+		if err != nil {
+			return st, nil, 0, err
+		}
+		if st, err = client.Wait(ctx, st.ID, 2*time.Millisecond); err != nil {
+			return st, nil, 0, err
+		}
+		body, st2, err := client.Result(ctx, st.ID)
+		if err != nil {
+			return st, nil, 0, err
+		}
+		st.Cached = st.Cached || st2.Cached
+		return st, body, time.Since(start), nil
+	}
+
+	cold, coldBody, coldDur, err := run()
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	hit, hitBody, hitDur, err := run()
+	if err != nil {
+		return fmt.Errorf("hit run: %w", err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+
+	identical := bytes.Equal(coldBody, hitBody)
+	executions := stats.RunsByScenario["fig12"]
+	speedup := float64(coldDur) / float64(hitDur)
+	experiments.RecordMetric("service_cache_cold_ms", float64(coldDur.Microseconds())/1000)
+	experiments.RecordMetric("service_cache_hit_ms", float64(hitDur.Microseconds())/1000)
+	experiments.RecordMetric("service_cache_speedup", speedup)
+
+	fmt.Fprintf(w, "service-cache: sdtd end-to-end over loopback HTTP (spec %s)\n", cold.Key[:12])
+	fmt.Fprintf(w, "  %-28s %v\n", "cold submit -> result", coldDur.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-28s %v (%.0fx)\n", "cached submit -> result", hitDur.Round(time.Microsecond), speedup)
+	fmt.Fprintf(w, "  %-28s executions=%d hits=%d misses=%d\n", "one execution, one hit:",
+		executions, stats.Cache.Hits, stats.Cache.Misses)
+	fmt.Fprintf(w, "  %-28s %v (%d bytes)\n", "bodies byte-identical:", identical, len(coldBody))
+	if !identical || executions != 1 || !hit.Cached || cold.Cached {
+		return fmt.Errorf("service-cache: cache contract violated: identical=%v executions=%d coldCached=%v hitCached=%v",
+			identical, executions, cold.Cached, hit.Cached)
+	}
+	return nil
+}

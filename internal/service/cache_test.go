@@ -1,0 +1,142 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 40) }
+	c.Put("a", body(1))
+	c.Put("b", body(2))
+	// 80/100 bytes resident; touching "a" makes "b" the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be resident")
+	}
+	c.Put("c", body(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (was MRU at eviction time)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be resident")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if st.Budget != 100 {
+		t.Fatalf("budget: %+v", st)
+	}
+}
+
+func TestCacheOversizedBodyNotAdmitted(t *testing.T) {
+	c, err := NewCache(10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("small", []byte("ok"))
+	c.Put("big", bytes.Repeat([]byte{1}, 11))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("a body larger than the whole budget must not be admitted")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("an oversized Put must not evict resident entries")
+	}
+}
+
+func TestCacheSameKeyRefreshesRecency(t *testing.T) {
+	c, err := NewCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", bytes.Repeat([]byte{1}, 40))
+	c.Put("b", bytes.Repeat([]byte{2}, 40))
+	c.Put("a", bytes.Repeat([]byte{1}, 40)) // refresh, not duplicate
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("re-Put of a resident key must not duplicate: %+v", st)
+	}
+	c.Put("c", bytes.Repeat([]byte{3}, 40))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should be the eviction victim after a's refresh")
+	}
+}
+
+func TestCacheDiskStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("persisted result body\n")
+	if err := c1.Put("deadbeef", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory — the restart — serves the
+	// entry from disk and promotes it back into memory.
+	c2, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("deadbeef")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("disk hit after restart: ok=%v got=%q", ok, got)
+	}
+	st := c2.Stats()
+	if st.Hits != 1 || st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("disk-hit counters: %+v", st)
+	}
+	// Second Get is a pure memory hit.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry should be memory-resident")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("promotion should keep later hits off disk: %+v", st)
+	}
+}
+
+func TestCacheDiskWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "k" {
+			t.Fatalf("leftover temp file %q in cache dir", e.Name())
+		}
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "k")); err != nil || string(b) != "body" {
+		t.Fatalf("on-disk entry: %q err=%v", b, err)
+	}
+}
+
+func TestCacheMissCounters(t *testing.T) {
+	c, _ := NewCache(100, "")
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(fmt.Sprintf("nope-%d", i)); ok {
+			t.Fatal("unexpected hit")
+		}
+	}
+	if st := c.Stats(); st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("miss counters: %+v", st)
+	}
+}
