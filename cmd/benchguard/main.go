@@ -21,6 +21,11 @@
 // Single-core hosts skip the gate — conservative-window parallelism
 // cannot manifest without cores to run on — but still record the
 // measured value in the trajectory.
+//
+// -min-flowsim-speedup gates loadgen-sweep-xl's flowsim_speedup metric
+// (flow-fidelity vs packet-fidelity wall clock on a common fabric)
+// whenever the current report carries it. That comparison is serial on
+// both sides, so it applies at any CPU count.
 package main
 
 import (
@@ -77,6 +82,7 @@ func main() {
 	headline := flag.String("headline", "fig12", "experiment whose wall clock is gated")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed relative wall-clock regression")
 	minSpeedup := flag.Float64("min-speedup", 2.5, "shard_scale_speedup_k4 floor on hosts with >= 4 CPUs (0 disables)")
+	minFlowSpeedup := flag.Float64("min-flowsim-speedup", 1.0, "flowsim_speedup floor: flow fidelity must beat packet wall clock (0 disables)")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
@@ -125,6 +131,21 @@ func main() {
 			} else {
 				fmt.Printf("skip shard_scale_speedup_k4 gate: %d CPU(s), measured %.2fx\n",
 					cur.GOMAXPROCS, v)
+			}
+		}
+	}
+
+	// The flowsim gate is serial (one engine, one core), so unlike the
+	// shard gate it applies regardless of CPU count: flow fidelity
+	// exists to be faster than packet fidelity, and a report that
+	// carries the metric but misses the floor is a regression.
+	if *minFlowSpeedup > 0 {
+		if v, ok := cur.metric("flowsim_speedup"); ok {
+			if v < *minFlowSpeedup {
+				fmt.Printf("FAIL flowsim_speedup: %.2fx < %.2fx floor\n", v, *minFlowSpeedup)
+				failed = true
+			} else {
+				fmt.Printf("ok   flowsim_speedup: %.2fx (floor %.2fx)\n", v, *minFlowSpeedup)
 			}
 		}
 	}

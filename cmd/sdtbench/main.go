@@ -145,19 +145,12 @@ func main() {
 		Reconfig: *reconfigTarget,
 	}
 
-	var selected []experiments.Entry
-	if *exp == "all" {
-		selected = experiments.All()
-	} else {
-		// -exp takes a comma-separated list: fig12,shard-scale runs both.
-		for _, name := range strings.Split(*exp, ",") {
-			e, ok := experiments.Lookup(name)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "sdtbench: unknown experiment %q\n", name)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
-		}
+	// -exp takes a comma-separated list: fig12,shard-scale runs both;
+	// "all" expands to every set. Unknown names list the valid ones.
+	selected, err := experiments.Select(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdtbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	// Ctrl-C (or SIGTERM) cancels the in-flight simulation mid-run (the

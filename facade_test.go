@@ -66,6 +66,55 @@ func TestFacadeRunAndSweep(t *testing.T) {
 	}
 }
 
+// TestFacadeFlowFidelity runs one open-loop schedule at both
+// fidelities through the facade: the flow-level run completes every
+// flow, and the knob composes with WithFidelity as a sweep-wide
+// override.
+func TestFacadeFlowFidelity(t *testing.T) {
+	topo := sdt.FatTree(4)
+	tb, err := sdt.PaperTestbed([]*sdt.Topology{topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func() []sdt.Flow {
+		return sdt.LoadSpec{
+			Ranks: 8, Load: 0.5, Flows: 64,
+			Pattern: sdt.PatternUniform(), Sizes: sdt.WebSearchSizes(),
+			Seed: 3,
+		}.MustGenerate().Flows
+	}
+	flows := gen()
+	if _, err := sdt.Run(t.Context(), tb, sdt.Scenario{
+		Topo: topo, Flows: flows, Fidelity: sdt.FidelityFlow,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fct := sdt.MeasureFCT(flows, 10e9, 0, nil)
+	if fct.Completed != fct.Total || fct.Total != 64 {
+		t.Fatalf("flow-fidelity run completed %d/%d flows", fct.Completed, fct.Total)
+	}
+
+	// WithFidelity overrides a packet-fidelity scenario sweep-wide.
+	results, err := sdt.Sweep(t.Context(),
+		[]sdt.Job{{TB: tb, Scenario: sdt.Scenario{Topo: topo, Flows: gen()}}},
+		sdt.WithFidelity(sdt.FidelityFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Events <= 0 {
+		t.Fatalf("sweep results: %+v", results)
+	}
+
+	// Flow fidelity rejects what it cannot simulate — loudly, not
+	// silently at packet level.
+	if _, err := sdt.Run(t.Context(), tb, sdt.Scenario{
+		Topo: topo, Trace: sdt.AlltoallTrace(4, 16<<10, 2),
+		Fidelity: sdt.FidelityFlow,
+	}); err == nil {
+		t.Fatal("flow fidelity accepted a closed-loop trace")
+	}
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
 	ft := sdt.FatTree(4)
 	torus := sdt.Torus2D(4, 4, 1)

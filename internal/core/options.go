@@ -19,6 +19,33 @@ import (
 	"repro/internal/workload"
 )
 
+// Fidelity selects how faithfully a run simulates the fabric.
+type Fidelity int
+
+const (
+	// Packet is full packet-level discrete-event simulation — every
+	// packet traverses every queue. The default, and the reference the
+	// flow-level mode is differentially tested against.
+	Packet Fidelity = iota
+	// Flow is the flow-level fluid fast path (internal/flowsim): flows
+	// transmit at the max-min fair share of the compiled FIB paths they
+	// cross, with rates recomputed at arrivals and completions. Run
+	// cost scales with flows rather than bytes × hops, reaching fabric
+	// sizes packet simulation cannot (~10k–100k hosts). Requires an
+	// open-loop Flows scenario; Trace, Faults, Reconfig, and SDT mode
+	// are rejected loudly, Shards and observers do not apply (the run
+	// is serial and has no packet-level network to observe).
+	Flow
+)
+
+// String names the fidelity level.
+func (f Fidelity) String() string {
+	if f == Flow {
+		return "Flow"
+	}
+	return "Packet"
+}
+
 // Scenario is one complete workload description: which topology, which
 // trace, which evaluation platform, and optionally which hosts,
 // routing strategy, and fabric configuration. The zero values of the
@@ -86,6 +113,10 @@ type Scenario struct {
 	// crossbars), Tick observers (including WithTelemetry), and
 	// zero-propagation-delay fabrics. WithShards overrides this field.
 	Shards int
+	// Fidelity selects packet-level simulation (the zero value) or the
+	// flow-level fluid fast path — see the Fidelity constants for the
+	// contract. WithFidelity overrides this field.
+	Fidelity Fidelity
 }
 
 // Hooks observes one run's lifecycle. Any field may be nil. Tick fires
@@ -117,6 +148,8 @@ type runConfig struct {
 	hasDeadline bool
 	workers     int
 	shards      int
+	fidelity    Fidelity
+	hasFidelity bool
 }
 
 // newRunConfig applies opts over the defaults (serial sweep, no
@@ -176,6 +209,13 @@ func WithDeadline(t time.Time) Option {
 // 0 means all cores, 1 (the default) runs serially. Run ignores it.
 func WithWorkers(n int) Option {
 	return func(c *runConfig) { c.workers = n }
+}
+
+// WithFidelity overrides the scenario's simulation fidelity for the
+// run(s) — e.g. re-running a registered packet-level scenario at flow
+// level for a scale sweep.
+func WithFidelity(f Fidelity) Option {
+	return func(c *runConfig) { c.fidelity, c.hasFidelity = f, true }
 }
 
 // WithShards runs each simulation of the invocation across k parallel

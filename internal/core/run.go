@@ -267,6 +267,12 @@ func runScenario(ctx context.Context, tb *Testbed, sc Scenario, cfg *runConfig) 
 	if sc.SimConfig != nil {
 		simCfg = *sc.SimConfig
 	}
+	if cfg.hasFidelity {
+		sc.Fidelity = cfg.fidelity
+	}
+	if sc.Fidelity == Flow {
+		return runFlowScenario(ctx, sc, cfg, hosts[:ranks], simCfg)
+	}
 	shards := effectiveShards(sc, cfg, simCfg, g)
 	var (
 		net *netsim.Network

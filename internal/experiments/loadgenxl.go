@@ -1,0 +1,224 @@
+package experiments
+
+// The loadgen-sweep-xl scenario set: the flow-level fidelity mode
+// (internal/flowsim) exercised at fabric sizes the packet engine
+// cannot touch — fat-trees from 1k to 65k hosts, where a single
+// packet-level cell would need billions of events but the fluid model
+// finishes in ~flow-count work. The set also runs one packet-vs-flow
+// pair on a small common fabric (the k=8 fat-tree, 128 hosts) with the
+// same schedule, recording the wall-clock ratio as the flowsim_speedup
+// metric benchguard gates: flow fidelity exists to be faster, and the
+// trajectory enforces that it stays so.
+//
+// The XL testbed is built with no projected topologies on purpose: a
+// 65k-host fat-tree does not fit any physical cluster, and the flow
+// path needs only the testbed's fabric config — which is exactly the
+// regime the fidelity knob exists for.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+func init() {
+	Register(115, "loadgen-sweep-xl", "loadgen: flow-fidelity FCT sweep on XL fat-trees (1k-65k hosts), packet-vs-flow speedup on a 128-host reference",
+		func(ctx context.Context, p Params, w io.Writer) error {
+			r, err := LoadSweepXL(ctx, p)
+			if err != nil {
+				return err
+			}
+			r.Format(w)
+			return nil
+		}, FieldSeed, FieldFlows, FieldWorkers)
+}
+
+// xlLoad is the fixed offered load of every XL cell: high enough that
+// flows contend (rate recomputation does real work), low enough that
+// the heavy-tailed schedule drains.
+const xlLoad = 0.6
+
+// LoadSweepXLCell is one (fat-tree size, pattern) grid point, run at
+// flow fidelity.
+type LoadSweepXLCell struct {
+	Topo    string
+	Hosts   int
+	Pattern string
+	Flows   int
+	// Recomputes counts fair-share rate recomputations (the fluid
+	// engine's event count) — deterministic per seed.
+	Recomputes int64
+	// Wall is machine-dependent (masked in goldens).
+	Wall time.Duration
+	FCT  *telemetry.FCTReport
+}
+
+// LoadSweepXLResult is the XL grid plus the packet-vs-flow reference
+// pair.
+type LoadSweepXLResult struct {
+	Seed  int64
+	Cells []LoadSweepXLCell
+	// The common-fabric speedup pair: one schedule on SmallTopo run at
+	// both fidelities. PacketWall/FlowWall/Speedup are wall-clock-
+	// derived (masked in goldens, recorded as the flowsim_speedup
+	// metric).
+	SmallTopo  string
+	SmallHosts int
+	PacketWall time.Duration
+	FlowWall   time.Duration
+	Speedup    float64
+}
+
+// LoadSweepXL sweeps uniform and permutation schedules over fat-trees
+// k ∈ {16, 36, 64} (1024, 11664 and 65536 hosts) at flow fidelity,
+// then times one packet-vs-flow pair on the k=8 fat-tree. Params: Seed
+// (0 = 1), Flows (0 = 2048) per cell, Workers fans the XL cells out
+// one run per worker. The speedup pair always runs serially so its
+// wall-clock ratio is clean.
+func LoadSweepXL(ctx context.Context, p Params) (*LoadSweepXLResult, error) {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	flows := p.Flows
+	if flows <= 0 {
+		flows = 2048
+	}
+	cfg := netsim.DefaultConfig()
+	sizes := loadgen.ScaleSizes(loadgen.WebSearch(), 1.0/64)
+	patterns := []loadgen.Pattern{loadgen.Uniform(), loadgen.Permutation()}
+	const ranks = 64
+
+	// One testbed serves both halves: it is planned for the small
+	// reference fabric only, because the XL fabrics exist solely as
+	// simulated graphs — a 65k-host fat-tree fits no physical cluster,
+	// and the flow path reads nothing but the testbed's fabric config.
+	small := topology.FatTree(8)
+	tb, err := testbedSizedFor(small)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadSweepXLResult{Seed: seed}
+	var jobs []core.Job
+	for _, k := range []int{16, 36, 64} {
+		g := topology.FatTree(k)
+		nHosts := len(g.Hosts())
+		for _, pat := range patterns {
+			fs, err := loadgen.Spec{
+				Ranks: ranks, Pattern: pat, Sizes: sizes,
+				Load: xlLoad, Flows: flows,
+				Seed:    seed + int64(len(res.Cells)),
+				LinkBps: cfg.LinkBps,
+			}.Generate()
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, LoadSweepXLCell{
+				Topo: g.Name, Hosts: nHosts, Pattern: pat.Name(), Flows: flows,
+			})
+			jobs = append(jobs, core.Job{TB: tb, Scenario: core.Scenario{
+				Topo: g, Flows: fs.Flows, Mode: core.FullTestbed, Fidelity: core.Flow,
+			}})
+		}
+	}
+	results, err := core.Sweep(ctx, jobs, core.WithWorkers(p.Workers))
+	if err != nil {
+		return nil, err
+	}
+	xlWall := -1.0
+	for i := range res.Cells {
+		res.Cells[i].Recomputes = results[i].Events
+		res.Cells[i].Wall = results[i].Wall
+		res.Cells[i].FCT = telemetry.MeasureFCT(jobs[i].Flows, cfg.LinkBps, idealBase(cfg), sweepBuckets())
+		if xlWall < 0 && res.Cells[i].Hosts >= 10000 && res.Cells[i].Pattern == loadgen.Uniform().Name() {
+			// The acceptance record: the smallest >=10k-host fabric (the
+			// k=36 fat-tree) at flow fidelity, to compare against the
+			// 128-host packet wall.
+			xlWall = float64(results[i].Wall.Microseconds()) / 1000
+		}
+	}
+	if xlWall >= 0 {
+		RecordMetric("flowsim_xl_wall_ms", xlWall)
+	}
+
+	// The speedup reference: the largest fabric both fidelities reach
+	// comfortably, one seeded schedule run twice. The pair uses the
+	// UNSCALED web-search distribution (mean ~0.5 MB): packet-level cost
+	// grows with bytes × hops while fluid cost grows with flow count, so
+	// realistic datacenter flow sizes are exactly where the fidelity
+	// trade pays — and what the flowsim_speedup metric should price.
+	gen := func() ([]netsim.Flow, error) {
+		fs, err := loadgen.Spec{
+			Ranks: 16, Pattern: loadgen.Uniform(), Sizes: loadgen.WebSearch(),
+			Load: xlLoad, Flows: flows, Seed: seed, LinkBps: cfg.LinkBps,
+		}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		return fs.Flows, nil
+	}
+	pktFlows, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	pkt, err := core.Run(ctx, tb, core.Scenario{Topo: small, Flows: pktFlows, Mode: core.FullTestbed})
+	if err != nil {
+		return nil, err
+	}
+	fluFlows, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	flu, err := core.Run(ctx, tb, core.Scenario{
+		Topo: small, Flows: fluFlows, Mode: core.FullTestbed, Fidelity: core.Flow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SmallTopo = small.Name
+	res.SmallHosts = len(small.Hosts())
+	res.PacketWall = pkt.Wall
+	res.FlowWall = flu.Wall
+	if flu.Wall > 0 {
+		res.Speedup = float64(pkt.Wall) / float64(flu.Wall)
+	}
+	RecordMetric("flowsim_speedup", res.Speedup)
+	RecordMetric("packet_small_wall_ms", float64(pkt.Wall.Microseconds())/1000)
+	return res, nil
+}
+
+// Format prints the XL grid — deterministic columns (hosts, flows,
+// recomputes, FCT slowdowns) plus the masked wall column — and the
+// packet-vs-flow speedup line.
+func (r *LoadSweepXLResult) Format(w io.Writer) {
+	writeHeader(w, fmt.Sprintf(
+		"loadgen: XL flow-fidelity sweep (scaled web-search sizes, 64 ranks, load %.1f, seed %d)",
+		xlLoad, r.Seed))
+	fmt.Fprintf(w, "%-14s %6s %-12s %6s %10s  %15s %15s %15s %9s\n",
+		"topology", "hosts", "pattern", "flows", "recomputes",
+		"<10K p50/p99", "10-100K p50/p99", ">=100K p50/p99", "wall(ms)")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		fmt.Fprintf(w, "%-14s %6d %-12s %6d %10d ", c.Topo, c.Hosts, c.Pattern, c.Flows, c.Recomputes)
+		for _, b := range c.FCT.Buckets {
+			if b.Count == 0 {
+				fmt.Fprintf(w, " %15s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %7.2f/%-7.2f", b.P50, b.P99)
+		}
+		fmt.Fprintf(w, " %9.1f\n", float64(c.Wall.Microseconds())/1000)
+	}
+	fmt.Fprintf(w, "%s (%d hosts, same schedule both fidelities): packet %.1fms flow %.1fms speedup %.1fx\n",
+		r.SmallTopo, r.SmallHosts,
+		float64(r.PacketWall.Microseconds())/1000,
+		float64(r.FlowWall.Microseconds())/1000,
+		r.Speedup)
+}

@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/netsim"
 )
@@ -134,6 +136,31 @@ func Lookup(name string) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// Select resolves a comma-separated scenario-set list ("fig12,
+// shard-scale") to registry entries, in the order given. The literal
+// "all" (alone or inside a list) expands to every registered set in
+// presentation order; surrounding whitespace per name is ignored, and
+// empty elements ("fig12,,fig13", a trailing comma) are errors just
+// like unknown names — both report the registry's valid names so a
+// typo at the CLI answers itself.
+func Select(names string) ([]Entry, error) {
+	var out []Entry
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			out = append(out, All()...)
+			continue
+		}
+		e, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scenario set %q (valid: %s)",
+				name, strings.Join(append(Names(), "all"), ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // All returns every registered scenario set in presentation order.

@@ -50,6 +50,23 @@ var outputScrub = map[string]func(string) string{
 		_, err := strconv.Atoi(f[2])
 		return err == nil
 	}, 7, 8),
+	// loadgen-sweep-xl data rows: topology, hosts, pattern, flows,
+	// recomputes, 3 bucket columns, wall(ms) — only wall (8) varies;
+	// the trailing speedup line is wall-clock on both sides.
+	"loadgen-sweep-xl": func(out string) string {
+		out = maskColumns(func(f []string) bool {
+			if len(f) != 9 {
+				return false
+			}
+			_, err := strconv.Atoi(f[1])
+			if err != nil {
+				return false
+			}
+			_, err = strconv.Atoi(f[4])
+			return err == nil
+		}, 8)(out)
+		return flowSpeedupRe.ReplaceAllString(out, "packet <wall> flow <wall> speedup <wall>")
+	},
 	// shard-scale data rows: K, shards, ACT, drops, events, wall,
 	// speedup — wall (5) and speedup (6) are wall-clock-derived; the
 	// header also reports the host's CPU count.
@@ -66,6 +83,8 @@ var outputScrub = map[string]func(string) string{
 }
 
 var cpuCountRe = regexp.MustCompile(`\d+ CPUs`)
+
+var flowSpeedupRe = regexp.MustCompile(`packet \S+ flow \S+ speedup \S+`)
 
 // maskColumns canonicalises whitespace (fields joined by one space, so
 // masked values of different widths cannot shift layout) and replaces

@@ -1,0 +1,173 @@
+// Differential test harness: packet-level vs flow-level fidelity.
+//
+// Every cell of a (topology × pattern × load) grid generates one seeded
+// open-loop schedule twice and runs it through core.Run at both
+// fidelities — the packet-level discrete-event engine (the reference)
+// and the flowsim fluid fast path — then buckets both result sets with
+// telemetry.MeasureFCT and asserts the per-bucket FCT p50/p99 of the
+// fluid mode lands within a documented tolerance band of the packet
+// mode's.
+//
+// Tolerance rationale. Both engines are seeded and deterministic, so
+// each cell's flow/packet percentile ratio is a repeatable constant;
+// the bands below were calibrated by running the grid with open bands,
+// recording every ratio, and widening the observed envelope by margin
+// (see DESIGN.md "Flow-level fidelity" for the full discussion):
+//
+//   - Uniform/permutation p50 (observed 0.66–1.21, band [0.55, 1.45]):
+//     the median flow is latency- or bandwidth-dominated without deep
+//     queueing, and the fluid model reproduces both the zero-load path
+//     latency and the fair-share transmission time.
+//   - Uniform/permutation p99 (observed 0.44–1.21, band [0.35, 1.55]):
+//     the packet tail also carries what the fluid model deliberately
+//     omits — transient FIFO queue build-up behind Poisson bursts,
+//     per-packet serialisation quantisation, PFC pauses — so the fluid
+//     tail runs systematically fast.
+//   - Incast is the structural fidelity boundary, and its bands say so.
+//     Under N:1 fan-in near saturation the packet engine's FIFO queues
+//     hold a small flow behind every queued packet of the large flows
+//     it shares the victim port with, while max-min filling (which is
+//     per-flow fair queueing in the fluid limit) hands it its fair
+//     share immediately: at load 0.9 the small-flow-bucket p50 ratio
+//     drops to 0.05–0.14. The incast bands (p50 [0.035, 1.5], p99
+//     [0.30, 1.9], observed 0.050–1.140 / 0.40–1.51) therefore pin
+//     that the divergence stays bounded — an inversion (fluid slower
+//     than packet) or a runaway (another order of magnitude) still
+//     fails — not that it vanishes.
+//
+// Buckets with fewer than minBucketCount completed flows in either
+// mode are skipped: a p99 over a handful of samples is an order
+// statistic of noise, not a distribution.
+//
+// This test is the acceptance gate for the Fidelity knob: it must stay
+// green on at least 3 topologies × 3 patterns × 3 loads.
+package flowsim_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// diffRanks and diffFlows size each cell: enough completed flows per
+// size bucket for stable p50/p99 order statistics, small enough that
+// the packet-level reference stays cheap.
+const (
+	diffRanks      = 16
+	diffFlows      = 240
+	minBucketCount = 12
+)
+
+// diffBand is one [lo, hi] multiplicative tolerance on flow/packet
+// percentile ratios.
+type diffBand struct{ lo, hi float64 }
+
+var (
+	p50Band       = diffBand{0.55, 1.45}
+	p99Band       = diffBand{0.35, 1.55}
+	p50IncastBand = diffBand{0.035, 1.5}
+	p99IncastBand = diffBand{0.30, 1.9}
+)
+
+// diffBase is the ideal-FCT base used for both modes' MeasureFCT —
+// identical on purpose, so slowdown ratios cancel to raw-FCT ratios.
+func diffBase(cfg netsim.Config) netsim.Time {
+	return 2*cfg.HostLatency + cfg.SwitchLatency + 2*cfg.PropDelay
+}
+
+func TestDifferentialPacketVsFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid is 27 packet-level runs")
+	}
+	topos := []*topology.Graph{
+		topology.FatTree(4),
+		topology.Dragonfly(4, 9, 2, 1),
+		topology.Torus2D(4, 4, 1),
+	}
+	patterns := []loadgen.Pattern{loadgen.Uniform(), loadgen.Permutation(), loadgen.Incast(8)}
+	loads := []float64{0.3, 0.6, 0.9}
+	cfg := netsim.DefaultConfig()
+	sizes := loadgen.ScaleSizes(loadgen.WebSearch(), 1.0/64)
+	bounds := []int{10 * 1024, 100 * 1024}
+	base := diffBase(cfg)
+
+	seed := int64(1)
+	for _, g := range topos {
+		tb, err := core.PaperTestbed([]*topology.Graph{g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pat := range patterns {
+			for _, load := range loads {
+				g, pat, load := g, pat, load
+				cellSeed := seed
+				seed++
+				name := fmt.Sprintf("%s/%s/load%.1f", g.Name, pat.Name(), load)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					spec := loadgen.Spec{
+						Ranks: diffRanks, Pattern: pat, Sizes: sizes,
+						Load: load, Flows: diffFlows, Seed: cellSeed,
+						LinkBps: cfg.LinkBps,
+					}
+					pktFlows := spec.MustGenerate().Flows
+					fluFlows := spec.MustGenerate().Flows
+
+					if _, err := core.Run(context.Background(), tb, core.Scenario{
+						Topo: g, Flows: pktFlows, Mode: core.FullTestbed,
+					}); err != nil {
+						t.Fatalf("packet run: %v", err)
+					}
+					if _, err := core.Run(context.Background(), tb, core.Scenario{
+						Topo: g, Flows: fluFlows, Mode: core.FullTestbed, Fidelity: core.Flow,
+					}); err != nil {
+						t.Fatalf("flow run: %v", err)
+					}
+
+					pkt := telemetry.MeasureFCT(pktFlows, cfg.LinkBps, base, bounds)
+					flu := telemetry.MeasureFCT(fluFlows, cfg.LinkBps, base, bounds)
+					if pkt.Completed != pkt.Total {
+						t.Fatalf("packet mode completed %d/%d flows", pkt.Completed, pkt.Total)
+					}
+					if flu.Completed != flu.Total {
+						t.Fatalf("flow mode completed %d/%d flows", flu.Completed, flu.Total)
+					}
+
+					p50, p99 := p50Band, p99Band
+					if pat.Name() == loadgen.Incast(8).Name() {
+						p50, p99 = p50IncastBand, p99IncastBand
+					}
+					for b := range pkt.Buckets {
+						pb, fb := &pkt.Buckets[b], &flu.Buckets[b]
+						if pb.Count != fb.Count {
+							t.Fatalf("bucket %d: packet bucketed %d flows, flow %d (same schedule!)",
+								b, pb.Count, fb.Count)
+						}
+						if pb.Count < minBucketCount {
+							t.Logf("bucket [%d,%d): %d flows, skipped", pb.Lo, pb.Hi, pb.Count)
+							continue
+						}
+						r50 := float64(fb.P50FCT) / float64(pb.P50FCT)
+						r99 := float64(fb.P99FCT) / float64(pb.P99FCT)
+						t.Logf("bucket [%d,%d) n=%d: p50 flow/packet = %.3f, p99 = %.3f",
+							pb.Lo, pb.Hi, pb.Count, r50, r99)
+						if r50 < p50.lo || r50 > p50.hi {
+							t.Errorf("bucket [%d,%d): p50 ratio %.3f outside [%.2f, %.2f] (packet %v, flow %v)",
+								pb.Lo, pb.Hi, r50, p50.lo, p50.hi, pb.P50FCT, fb.P50FCT)
+						}
+						if r99 < p99.lo || r99 > p99.hi {
+							t.Errorf("bucket [%d,%d): p99 ratio %.3f outside [%.2f, %.2f] (packet %v, flow %v)",
+								pb.Lo, pb.Hi, r99, p99.lo, p99.hi, pb.P99FCT, fb.P99FCT)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package flowsim
+
+// Max-min fair-share allocation by progressive filling (water-filling):
+// every unfrozen flow's rate rises uniformly until some link saturates,
+// the flows crossing a saturated link freeze at their current rate, and
+// filling continues with the survivors until every flow is frozen. The
+// result is the unique max-min allocation: no flow's rate can be
+// increased without decreasing the rate of a flow that is no faster.
+//
+// caps[l] is link l's capacity, links[f] lists the links flow f
+// crosses, and rates[f] receives f's allocation. Units are whatever the
+// caller uses (the engine passes payload bytes per picosecond). A flow
+// crossing a zero-capacity link is frozen at rate 0. The computation is
+// deterministic — identical inputs produce identical outputs;
+// FuzzFairShare pins the invariants (no link over capacity,
+// non-negative rates, max-min).
+
+// fairScratch reuses the filling loop's working set across recomputes:
+// the allocation runs once per arrival/completion event, so per-call
+// allocation would dominate the fluid engine's profile.
+type fairScratch struct {
+	rem      []float64
+	cnt      []int32
+	unfrozen []int32
+}
+
+// run computes the allocation. Each round scans only the still-unfrozen
+// flows (compacted in place, preserving index order for determinism);
+// at least the arg-min link saturates per round, so the loop
+// terminates.
+func (fs *fairScratch) run(caps []float64, links [][]int32, rates []float64) {
+	const relEps = 1e-9
+	nf := len(links)
+	fs.rem = append(fs.rem[:0], caps...)
+	fs.cnt = fs.cnt[:0]
+	for range caps {
+		fs.cnt = append(fs.cnt, 0)
+	}
+	fs.unfrozen = fs.unfrozen[:0]
+	for f := 0; f < nf; f++ {
+		rates[f] = 0
+		for _, l := range links[f] {
+			fs.cnt[l]++
+		}
+		fs.unfrozen = append(fs.unfrozen, int32(f))
+	}
+	rem, cnt, unfrozen := fs.rem, fs.cnt, fs.unfrozen
+	for len(unfrozen) > 0 {
+		// The uniform rate increment every unfrozen flow can still take:
+		// the tightest link's residual capacity split across its flows.
+		s := -1.0
+		for l := range rem {
+			if cnt[l] > 0 {
+				if v := rem[l] / float64(cnt[l]); s < 0 || v < s {
+					s = v
+				}
+			}
+		}
+		if s < 0 {
+			// No unfrozen flow crosses any link (defensive; links[f] is
+			// validated non-empty by the engine) — freeze the rest as-is.
+			break
+		}
+		for _, f := range unfrozen {
+			rates[f] += s
+		}
+		for l := range rem {
+			if cnt[l] > 0 {
+				rem[l] -= s * float64(cnt[l])
+			}
+		}
+		// Keep the flows that cross no saturated link; freeing a frozen
+		// flow's links mid-compaction is safe because the saturation test
+		// reads rem, not cnt.
+		out := unfrozen[:0]
+		for _, f := range unfrozen {
+			saturated := false
+			for _, l := range links[f] {
+				if rem[l] <= relEps*caps[l] {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				out = append(out, f)
+				continue
+			}
+			for _, l := range links[f] {
+				cnt[l]--
+			}
+		}
+		unfrozen = out
+	}
+}
+
+// fairShare is the scratch-free entry point tests and the fuzz target
+// exercise; the engine holds its own fairScratch instead.
+func fairShare(caps []float64, links [][]int32, rates []float64) {
+	(&fairScratch{}).run(caps, links, rates)
+}

@@ -1,0 +1,390 @@
+// Package flowsim is the flow-level fast path of the testbed: instead
+// of moving packets, it treats each flow as a fluid transmitting at the
+// max-min fair share of the links it crosses (progressive filling), and
+// recomputes the allocation only when the set of active flows changes —
+// at flow arrivals and completions. A run's cost therefore scales with
+// the number of flows (and their path lengths), not with bytes × hops
+// the way packet simulation does, which is what lets loadgen sweeps
+// reach 10k–100k-host fabrics (ROADMAP item 2).
+//
+// Fidelity contract: flows follow the exact compiled routes the packet
+// engine forwards with (the walker resolves paths through the same
+// FIB/Lookup rules), link capacity is the packet engine's effective
+// payload goodput (LinkBps derated by the MTU/(MTU+header) framing
+// overhead), concurrent flows between one (src, dst) pair serialise in
+// schedule order exactly like the RoCE per-destination queue pair, and
+// completion times add the zero-load path latency the packet engine
+// charges (NIC, switch pipeline, propagation, cut-through header
+// re-serialisation). What the fluid model abstracts away — packet
+// granularity, PFC/ECN/DCQCN dynamics, transient queueing — is bounded
+// by the differential harness in differential_test.go, which asserts
+// per-bucket FCT percentile agreement against the packet engine across
+// topologies × patterns × loads; DESIGN.md documents the tolerance
+// rationale.
+package flowsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Result summarises one flow-level run.
+type Result struct {
+	// ACT is the completion time of the last flow (0 for an empty
+	// schedule) — the same quantity FlowApp.ACT reports.
+	ACT netsim.Time
+	// Completed counts finished flows; the fluid model never drops, so
+	// this equals the schedule length on success.
+	Completed int
+	// Recomputes counts rate-allocation events (arrival and completion
+	// batches) — the flow-level analogue of the packet engine's event
+	// count, reported as RunResult.Events.
+	Recomputes int64
+	// Pairs counts distinct (src, dst) serialisation queues.
+	Pairs int
+}
+
+// flowState is one flow's fluid state while active.
+type flowState struct {
+	path      *pathInfo
+	remaining float64 // payload bytes left to transmit
+	rate      float64 // current allocation, payload bytes per ps
+	pair      int32   // serialisation queue id
+}
+
+// pendEntry is one pair queue's next injection, ready at `ready` ps.
+type pendEntry struct {
+	ready float64
+	fi    int32
+}
+
+// Run executes an open-loop flow schedule at flow-level fidelity over
+// the given route set. hosts[i] is the vertex of rank i, exactly as in
+// netsim.NewFlowApp, and per-flow End/Completed results are written
+// back into the flows slice so telemetry.MeasureFCT consumes them
+// identically to a packet-level run. routes may be a subset computation
+// (routing.DstComputer) covering at least every destination the
+// schedule references.
+//
+// Validation mirrors NewFlowApp — rank range, self-send, duplicate
+// (src, dst, tag) — but returns errors instead of panicking, since
+// flow-mode schedules are caller-supplied at sizes where a panic would
+// be hostile. A cancelled context returns (nil, ctx.Err()) with the
+// per-flow results in an unspecified partial state, matching core.Run's
+// cancellation contract.
+func Run(ctx context.Context, g *topology.Graph, routes *routing.Routes, cfg netsim.Config, hosts []int, flows []netsim.Flow) (*Result, error) {
+	if g == nil || routes == nil {
+		return nil, errors.New("flowsim: nil topology or routes")
+	}
+	if cfg.LinkBps <= 0 || cfg.MTU <= 0 || cfg.HeaderBytes < 0 {
+		return nil, fmt.Errorf("flowsim: invalid fabric config (LinkBps=%g MTU=%d HeaderBytes=%d)",
+			cfg.LinkBps, cfg.MTU, cfg.HeaderBytes)
+	}
+	// Effective payload capacity of one directed link: line rate derated
+	// by framing overhead, in payload bytes per picosecond.
+	capacity := cfg.LinkBps / 8 / float64(netsim.Second) * float64(cfg.MTU) / float64(cfg.MTU+cfg.HeaderBytes)
+
+	type matchKey struct{ src, dst, tag int }
+	seen := make(map[matchKey]struct{}, len(flows))
+	for i := range flows {
+		f := &flows[i]
+		if f.Src < 0 || f.Src >= len(hosts) || f.Dst < 0 || f.Dst >= len(hosts) {
+			return nil, fmt.Errorf("flowsim: flow %d rank out of range (src=%d dst=%d ranks=%d)", i, f.Src, f.Dst, len(hosts))
+		}
+		if f.Src == f.Dst {
+			return nil, fmt.Errorf("flowsim: flow %d sends to itself (rank %d)", i, f.Src)
+		}
+		if f.Bytes < 0 {
+			return nil, fmt.Errorf("flowsim: flow %d has negative size %d", i, f.Bytes)
+		}
+		k := matchKey{f.Src, f.Dst, f.Tag}
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("flowsim: duplicate flow (src=%d dst=%d tag=%d)", f.Src, f.Dst, f.Tag)
+		}
+		seen[k] = struct{}{}
+		f.End, f.Completed = 0, false
+	}
+
+	// Resolve every flow's path and serialisation queue up front.
+	w := newWalker(g, routes, &cfg)
+	st := make([]flowState, len(flows))
+	pairOf := map[[2]int]int32{}
+	var pairQ [][]int32 // pair id → flow indices in injection order
+	order := injectionOrder(flows)
+	for _, fi := range order {
+		f := &flows[fi]
+		src, dst := hosts[f.Src], hosts[f.Dst]
+		p, err := w.path(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		key := [2]int{src, dst}
+		pid, ok := pairOf[key]
+		if !ok {
+			pid = int32(len(pairQ))
+			pairOf[key] = pid
+			pairQ = append(pairQ, nil)
+		}
+		pairQ[pid] = append(pairQ[pid], fi)
+		st[fi] = flowState{path: p, pair: pid, remaining: float64(f.Bytes)}
+	}
+
+	e := &engine{
+		flows:    flows,
+		st:       st,
+		pairQ:    pairQ,
+		pairNext: make([]int32, len(pairQ)),
+		capacity: capacity,
+		nLinks:   2 * len(g.Edges),
+	}
+	// Arm each pair queue's first injection at its start time.
+	for pid := range pairQ {
+		fi := pairQ[pid][0]
+		e.pushPending(pendEntry{ready: math.Max(0, float64(flows[fi].Start)), fi: fi})
+	}
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{
+		ACT:        e.last,
+		Completed:  e.completed,
+		Recomputes: e.recomputes,
+		Pairs:      len(pairQ),
+	}, nil
+}
+
+// injectionOrder sorts flow indices by start time, ties by index — the
+// same deterministic schedule order NewFlowApp injects with.
+func injectionOrder(flows []netsim.Flow) []int32 {
+	order := make([]int32, len(flows))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		x, y := order[i], order[j]
+		if flows[x].Start != flows[y].Start {
+			return flows[x].Start < flows[y].Start
+		}
+		return x < y
+	})
+	return order
+}
+
+// engine is the event loop state: time advances to the earlier of the
+// next eligible injection and the earliest completion under the current
+// rates, and the max-min allocation is recomputed whenever the active
+// set changes.
+type engine struct {
+	flows    []netsim.Flow
+	st       []flowState
+	pairQ    [][]int32
+	pairNext []int32 // pair id → next index into pairQ (head already pending/active)
+	pending  []pendEntry
+	active   []int32
+	capacity float64
+	nLinks   int
+
+	t          float64
+	last       netsim.Time
+	completed  int
+	recomputes int64
+
+	// fair-share scratch, reused across recomputes.
+	linkLocal []int32 // directed link id → local index + 1, 0 = unused
+	usedLinks []int32
+	caps      []float64
+	linkLists [][]int32
+	rates     []float64
+	fair      fairScratch
+}
+
+func (e *engine) run(ctx context.Context) error {
+	// Each iteration admits at least one injection or retires at least
+	// one completion, so the loop is bounded by 2n events; the guard
+	// catches numeric stalls instead of hanging.
+	maxIter := 2*len(e.flows) + 16
+	for iter := 0; len(e.pending) > 0 || len(e.active) > 0; iter++ {
+		if iter > maxIter {
+			return fmt.Errorf("flowsim: event loop exceeded %d iterations (numeric stall?)", maxIter)
+		}
+		if iter%64 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		nextArr := math.Inf(1)
+		if len(e.pending) > 0 {
+			nextArr = e.pending[0].ready
+		}
+		nextDone := math.Inf(1)
+		for _, fi := range e.active {
+			s := &e.st[fi]
+			if d := e.t + s.remaining/s.rate; d < nextDone {
+				nextDone = d
+			}
+		}
+		te := math.Min(nextArr, nextDone)
+		// Drain transmitted bytes up to te.
+		for _, fi := range e.active {
+			s := &e.st[fi]
+			s.remaining -= s.rate * (te - e.t)
+		}
+		e.t = te
+		changed := false
+		if nextDone <= te {
+			changed = e.completeDue() || changed
+		}
+		for len(e.pending) > 0 && e.pending[0].ready <= e.t {
+			changed = e.admit(e.popPending()) || changed
+		}
+		if changed && len(e.active) > 0 {
+			e.recompute()
+		}
+	}
+	return nil
+}
+
+// completeDue retires every active flow whose remaining payload has
+// drained (within half a byte — the event time was chosen as some
+// flow's exact completion, so at least one always retires). Completion
+// stamps End = transmit-done + the path's zero-load latency, and
+// releases the pair queue's successor.
+func (e *engine) completeDue() bool {
+	const epsBytes = 0.5
+	out := e.active[:0]
+	done := false
+	for _, fi := range e.active {
+		s := &e.st[fi]
+		if s.remaining > epsBytes {
+			out = append(out, fi)
+			continue
+		}
+		e.finish(fi)
+		done = true
+	}
+	e.active = out
+	return done
+}
+
+// finish records flow fi's completion at the current time and arms the
+// next flow of its pair queue.
+func (e *engine) finish(fi int32) {
+	f := &e.flows[fi]
+	f.Completed = true
+	f.End = netsim.Time(math.Round(e.t + e.st[fi].path.base))
+	if f.End > e.last {
+		e.last = f.End
+	}
+	e.completed++
+	pid := e.st[fi].pair
+	e.pairNext[pid]++
+	if int(e.pairNext[pid]) < len(e.pairQ[pid]) {
+		nxt := e.pairQ[pid][e.pairNext[pid]]
+		e.pushPending(pendEntry{ready: math.Max(e.t, float64(e.flows[nxt].Start)), fi: nxt})
+	}
+}
+
+// admit moves one injected flow into the active set; zero-byte flows
+// complete immediately without transmitting.
+func (e *engine) admit(p pendEntry) bool {
+	if e.st[p.fi].remaining <= 0 {
+		e.finish(p.fi)
+		return false
+	}
+	e.active = append(e.active, p.fi)
+	return true
+}
+
+// recompute rebuilds the max-min allocation over the active set. Only
+// links some active flow crosses participate; the dense directed-link
+// table maps them to a compact index so fairShare scans stay
+// proportional to the congested region, not the fabric.
+func (e *engine) recompute() {
+	e.recomputes++
+	if e.linkLocal == nil {
+		e.linkLocal = make([]int32, e.nLinks)
+	}
+	e.usedLinks = e.usedLinks[:0]
+	e.caps = e.caps[:0]
+	if cap(e.linkLists) < len(e.active) {
+		e.linkLists = make([][]int32, 0, len(e.active))
+	}
+	e.linkLists = e.linkLists[:len(e.active)]
+	if cap(e.rates) < len(e.active) {
+		e.rates = make([]float64, len(e.active))
+	}
+	e.rates = e.rates[:len(e.active)]
+	for ai, fi := range e.active {
+		path := e.st[fi].path.links
+		local := e.linkLists[ai][:0]
+		for _, gl := range path {
+			if e.linkLocal[gl] == 0 {
+				e.usedLinks = append(e.usedLinks, gl)
+				e.caps = append(e.caps, e.capacity)
+				e.linkLocal[gl] = int32(len(e.usedLinks))
+			}
+			local = append(local, e.linkLocal[gl]-1)
+		}
+		e.linkLists[ai] = local
+	}
+	e.fair.run(e.caps, e.linkLists, e.rates)
+	for ai, fi := range e.active {
+		e.st[fi].rate = e.rates[ai]
+	}
+	for _, gl := range e.usedLinks {
+		e.linkLocal[gl] = 0
+	}
+}
+
+// pushPending / popPending: a binary min-heap on (ready, flow index) —
+// deterministic total order, one entry per pair queue at most.
+func (e *engine) pushPending(p pendEntry) {
+	e.pending = append(e.pending, p)
+	i := len(e.pending) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pendLess(e.pending[i], e.pending[parent]) {
+			break
+		}
+		e.pending[i], e.pending[parent] = e.pending[parent], e.pending[i]
+		i = parent
+	}
+}
+
+func (e *engine) popPending() pendEntry {
+	top := e.pending[0]
+	n := len(e.pending) - 1
+	e.pending[0] = e.pending[n]
+	e.pending = e.pending[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && pendLess(e.pending[l], e.pending[min]) {
+			min = l
+		}
+		if r < n && pendLess(e.pending[r], e.pending[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		e.pending[i], e.pending[min] = e.pending[min], e.pending[i]
+		i = min
+	}
+	return top
+}
+
+func pendLess(a, b pendEntry) bool {
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	return a.fi < b.fi
+}

@@ -1,0 +1,99 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFairShare pins the rate-allocation invariants of the fluid
+// engine's core: for arbitrary link capacities and flow→link
+// memberships, the progressive-filling allocation must (1) keep every
+// link at or under capacity, (2) assign only finite non-negative rates,
+// and (3) be max-min fair — every flow has a saturated bottleneck link
+// on which no other flow gets a strictly larger rate, i.e. no flow can
+// be sped up without slowing down a flow that is no faster.
+func FuzzFairShare(f *testing.F) {
+	f.Add(uint8(2), uint8(4), int64(1))
+	f.Add(uint8(1), uint8(1), int64(42))
+	f.Add(uint8(8), uint8(16), int64(7))
+	f.Add(uint8(3), uint8(9), int64(-12345))
+	f.Fuzz(func(t *testing.T, nLinks, nFlows uint8, seed int64) {
+		nL := int(nLinks)%16 + 1
+		nF := int(nFlows)%32 + 1
+		// Deterministic xorshift stream from the seed.
+		s := uint64(seed)*2654435761 + 1
+		next := func() uint64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return s
+		}
+		caps := make([]float64, nL)
+		for l := range caps {
+			switch next() % 8 {
+			case 0:
+				caps[l] = 0 // dead link
+			default:
+				caps[l] = float64(next()%1000+1) / 10
+			}
+		}
+		links := make([][]int32, nF)
+		for fi := range links {
+			pathLen := int(next()%uint64(nL)) + 1
+			used := map[int32]bool{}
+			for len(links[fi]) < pathLen {
+				l := int32(next() % uint64(nL))
+				if !used[l] {
+					used[l] = true
+					links[fi] = append(links[fi], l)
+				}
+			}
+		}
+		rates := make([]float64, nF)
+		fairShare(caps, links, rates)
+
+		const eps = 1e-6
+		load := make([]float64, nL)
+		for fi, ls := range links {
+			r := rates[fi]
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				t.Fatalf("flow %d: invalid rate %g", fi, r)
+			}
+			for _, l := range ls {
+				load[l] += r
+			}
+		}
+		for l := range caps {
+			if load[l] > caps[l]*(1+eps)+eps {
+				t.Fatalf("link %d over capacity: load %g > cap %g", l, load[l], caps[l])
+			}
+		}
+		// Max-min: every flow is limited by some saturated link where it
+		// is among the fastest flows — the increase/decrease exchange
+		// argument needs exactly this witness.
+		for fi, ls := range links {
+			bottleneck := false
+			for _, l := range ls {
+				if load[l] < caps[l]*(1-eps)-eps {
+					continue // link has headroom, not a bottleneck
+				}
+				maxOn := 0.0
+				for fj, ls2 := range links {
+					for _, l2 := range ls2 {
+						if l2 == l && rates[fj] > maxOn {
+							maxOn = rates[fj]
+						}
+					}
+				}
+				if rates[fi] >= maxOn*(1-eps)-eps {
+					bottleneck = true
+					break
+				}
+			}
+			if !bottleneck {
+				t.Fatalf("flow %d (rate %g) has no bottleneck link: rates=%v caps=%v links=%v",
+					fi, rates[fi], rates, caps, links)
+			}
+		}
+	})
+}

@@ -242,24 +242,25 @@ func addPathRules(r *Routes, g *topology.Graph, path []int, dst int, vcAt func(i
 // so the fan-out is exercised under -race even on single-CPU machines.
 var computeWorkers = 0
 
-// computePerDst fans the per-destination rule builds of a strategy out
-// over the worker pool and merges the outputs deterministically: each
-// destination host gets its own rule bucket (built by `build` calling
-// emit), and the buckets are concatenated in destination order, so the
-// merged rule list is independent of scheduling. Callers follow with
+// computeForDsts fans a strategy's rule builds over an explicit
+// destination set: the per-destination builds run on the worker pool
+// and merge deterministically —
+// each destination gets its own rule bucket (built by `build` calling
+// emit), and the buckets are concatenated in dsts order, so the merged
+// rule list is independent of scheduling. Callers follow with
 // sortRules, which is stable, keeping the final route set byte-
 // identical to a serial build.
 //
 // build runs concurrently and must only read shared state; the graph's
 // lazy caches (adjacency, CSR, host/switch lists) are primed here
 // before the fan-out.
-func computePerDst(r *Routes, g *topology.Graph, build func(dst int, emit func(Rule)) error) error {
+func computeForDsts(r *Routes, g *topology.Graph, dsts []int, build func(dst int, emit func(Rule)) error) error {
 	g.CSR()
-	hosts := g.Hosts()
-	perDst := make([][]Rule, len(hosts))
-	err := par.For(computeWorkers, len(hosts), func(hi int) error {
+	g.Hosts()
+	perDst := make([][]Rule, len(dsts))
+	err := par.For(computeWorkers, len(dsts), func(hi int) error {
 		// Each job owns exactly its destination's bucket element.
-		return build(hosts[hi], func(rule Rule) { perDst[hi] = append(perDst[hi], rule) })
+		return build(dsts[hi], func(rule Rule) { perDst[hi] = append(perDst[hi], rule) })
 	})
 	if err != nil {
 		return err
@@ -276,6 +277,72 @@ func computePerDst(r *Routes, g *topology.Graph, build func(dst int, emit func(R
 	return nil
 }
 
+// DstComputer is a Strategy whose route build is an independent pure
+// function per destination host — true of every Table III strategy —
+// letting callers compute rules for a *subset* of destinations.
+// ComputeFor(g, subset) returns exactly the full route set restricted
+// to those destinations (pinned by TestComputeForMatchesSubset); on
+// fabrics too large to route in full — route sets grow as
+// switches × hosts, ~GBs on a 10k-host fat-tree — a flow-level run
+// needs rules only for the hosts that actually receive traffic, which
+// is what keeps internal/flowsim's path resolution affordable there.
+type DstComputer interface {
+	Strategy
+	// ComputeFor computes routes toward the given destination hosts
+	// only. Destinations are deduplicated and sorted, so equal sets
+	// produce byte-identical rule lists regardless of input order.
+	ComputeFor(g *topology.Graph, dsts []int) (*Routes, error)
+}
+
+// dstBuilder is the per-strategy factory behind the shared compute
+// driver: it validates the topology once and returns the
+// per-destination rule build.
+type dstBuilder func(g *topology.Graph) (build func(dst int, emit func(Rule)) error, err error)
+
+// computeStrategy runs one strategy's per-destination builder over the
+// given destinations (nil = every host) and finalises the route set.
+func computeStrategy(g *topology.Graph, name string, vcs int, dsts []int, mk dstBuilder) (*Routes, error) {
+	if dsts == nil {
+		dsts = g.Hosts()
+	} else {
+		var err error
+		if dsts, err = canonicalDsts(g, dsts); err != nil {
+			return nil, fmt.Errorf("routing: %s: %w", name, err)
+		}
+	}
+	build, err := mk(g)
+	if err != nil {
+		return nil, err
+	}
+	r := newRoutes(g, name, vcs)
+	if err := computeForDsts(r, g, dsts, build); err != nil {
+		return nil, err
+	}
+	sortRules(r)
+	return r, nil
+}
+
+// canonicalDsts validates a destination subset (host vertices of g) and
+// returns it sorted and deduplicated.
+func canonicalDsts(g *topology.Graph, dsts []int) ([]int, error) {
+	out := make([]int, 0, len(dsts))
+	for _, d := range dsts {
+		if d < 0 || d >= len(g.Vertices) || g.Vertices[d].Kind != topology.Host {
+			return nil, fmt.Errorf("destination %d is not a host of %s", d, g.Name)
+		}
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	n := 0
+	for i, d := range out {
+		if i == 0 || d != out[i-1] {
+			out[n] = d
+			n++
+		}
+	}
+	return out[:n], nil
+}
+
 // ShortestPath is the generic strategy: BFS trees rooted at every
 // destination host's switch, deterministic tie-breaking by vertex ID.
 // Single VC; deadlock-free only on acyclic-channel topologies (trees,
@@ -287,10 +354,19 @@ func (ShortestPath) Name() string { return "shortest-path" }
 
 // Compute implements Strategy.
 func (ShortestPath) Compute(g *topology.Graph) (*Routes, error) {
-	r := newRoutes(g, "shortest-path", 1)
+	return computeStrategy(g, "shortest-path", 1, nil, shortestPathBuilder)
+}
+
+// ComputeFor implements DstComputer.
+func (ShortestPath) ComputeFor(g *topology.Graph, dsts []int) (*Routes, error) {
+	return computeStrategy(g, "shortest-path", 1, dsts, shortestPathBuilder)
+}
+
+// shortestPathBuilder returns the per-destination BFS-tree rule build.
+func shortestPathBuilder(g *topology.Graph) (func(dst int, emit func(Rule)) error, error) {
 	csr := g.CSR()
 	nv := len(g.Vertices)
-	err := computePerDst(r, g, func(dst int, emit func(Rule)) error {
+	return func(dst int, emit func(Rule)) error {
 		root := g.HostSwitch(dst)
 		if root < 0 {
 			return fmt.Errorf("routing: host %d has no switch", dst)
@@ -334,12 +410,7 @@ func (ShortestPath) Compute(g *topology.Graph) (*Routes, error) {
 			emit(Rule{Switch: sw, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sortRules(r)
-	return r, nil
+	}, nil
 }
 
 func sortRules(r *Routes) {

@@ -21,6 +21,17 @@ func (FatTreeDFS) Name() string { return "fattree-dfs" }
 
 // Compute implements Strategy.
 func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
+	return computeStrategy(g, "fattree-dfs", 1, nil, fatTreeBuilder)
+}
+
+// ComputeFor implements DstComputer.
+func (FatTreeDFS) ComputeFor(g *topology.Graph, dsts []int) (*Routes, error) {
+	return computeStrategy(g, "fattree-dfs", 1, dsts, fatTreeBuilder)
+}
+
+// fatTreeBuilder validates fat-tree coordinates once and returns the
+// per-destination up-down rule build.
+func fatTreeBuilder(g *topology.Graph) (func(dst int, emit func(Rule)) error, error) {
 	// Index vertices by coordinates set by topology.FatTree.
 	type key struct{ layer, a, b int }
 	byCoord := map[key]int{}
@@ -39,9 +50,8 @@ func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
 	if half == 0 {
 		return nil, fmt.Errorf("routing: %s is not a fat-tree", g.Name)
 	}
-	r := newRoutes(g, "fattree-dfs", 1)
 	csr := g.CSR()
-	err := computePerDst(r, g, func(dst int, emit func(Rule)) error {
+	return func(dst int, emit func(Rule)) error {
 		hc := g.Vertices[dst].Coord // {3, pod, edge, slot}
 		if len(hc) != 4 {
 			return fmt.Errorf("routing: host %d lacks fat-tree coords", dst)
@@ -80,12 +90,7 @@ func (FatTreeDFS) Compute(g *topology.Graph) (*Routes, error) {
 			emit(Rule{Switch: s, Dst: dst, Tag: openflow.Any, OutPort: out, NewTag: -1})
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sortRules(r)
-	return r, nil
+	}, nil
 }
 
 // DragonflyMinimal is Table III's Dragonfly routing: minimal paths
@@ -99,13 +104,23 @@ func (DragonflyMinimal) Name() string { return "dragonfly-minimal" }
 
 // Compute implements Strategy.
 func (DragonflyMinimal) Compute(g *topology.Graph) (*Routes, error) {
+	return computeStrategy(g, "dragonfly-minimal", 2, nil, dragonflyBuilder)
+}
+
+// ComputeFor implements DstComputer.
+func (DragonflyMinimal) ComputeFor(g *topology.Graph, dsts []int) (*Routes, error) {
+	return computeStrategy(g, "dragonfly-minimal", 2, dsts, dragonflyBuilder)
+}
+
+// dragonflyBuilder indexes the group structure once and returns the
+// per-destination minimal-path rule build.
+func dragonflyBuilder(g *topology.Graph) (func(dst int, emit func(Rule)) error, error) {
 	df, err := indexDragonfly(g)
 	if err != nil {
 		return nil, err
 	}
-	r := newRoutes(g, "dragonfly-minimal", 2)
 	csr := g.CSR()
-	err = computePerDst(r, g, func(dst int, emit func(Rule)) error {
+	return func(dst int, emit func(Rule)) error {
 		D := g.HostSwitch(dst)
 		gd := g.Vertices[D].Coord[0]
 		for _, s := range g.Switches() {
@@ -138,12 +153,7 @@ func (DragonflyMinimal) Compute(g *topology.Graph) (*Routes, error) {
 			}
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sortRules(r)
-	return r, nil
+	}, nil
 }
 
 // dragonflyIndex caches group structure for dragonfly strategies.
@@ -209,7 +219,12 @@ func (MeshXY) Name() string { return "mesh-xy" }
 
 // Compute implements Strategy.
 func (MeshXY) Compute(g *topology.Graph) (*Routes, error) {
-	return dimensionOrder(g, 2, false, "mesh-xy")
+	return dimensionOrder(g, 2, false, "mesh-xy", nil)
+}
+
+// ComputeFor implements DstComputer.
+func (MeshXY) ComputeFor(g *topology.Graph, dsts []int) (*Routes, error) {
+	return dimensionOrder(g, 2, false, "mesh-xy", dsts)
 }
 
 // MeshXYZ is Table III's 3D-Mesh strategy: X-Y-Z dimension order.
@@ -220,7 +235,12 @@ func (MeshXYZ) Name() string { return "mesh-xyz" }
 
 // Compute implements Strategy.
 func (MeshXYZ) Compute(g *topology.Graph) (*Routes, error) {
-	return dimensionOrder(g, 3, false, "mesh-xyz")
+	return dimensionOrder(g, 3, false, "mesh-xyz", nil)
+}
+
+// ComputeFor implements DstComputer.
+func (MeshXYZ) ComputeFor(g *topology.Graph, dsts []int) (*Routes, error) {
+	return dimensionOrder(g, 3, false, "mesh-xyz", dsts)
 }
 
 // TorusClue is Table III's 2D/3D-Torus strategy, after Clue (Xiang &
@@ -244,12 +264,31 @@ func (t TorusClue) dims() int {
 
 // Compute implements Strategy.
 func (t TorusClue) Compute(g *topology.Graph) (*Routes, error) {
-	return dimensionOrder(g, t.dims(), true, t.Name())
+	return dimensionOrder(g, t.dims(), true, t.Name(), nil)
+}
+
+// ComputeFor implements DstComputer.
+func (t TorusClue) ComputeFor(g *topology.Graph, dsts []int) (*Routes, error) {
+	return dimensionOrder(g, t.dims(), true, t.Name(), dsts)
 }
 
 // dimensionOrder implements XY/XYZ (mesh) and dateline-VC dimension
-// order (torus). Switch coordinates must be dims-long grid positions.
-func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Routes, error) {
+// order (torus) over the given destinations (nil = every host). Switch
+// coordinates must be dims-long grid positions.
+func dimensionOrder(g *topology.Graph, dims int, torus bool, name string, dsts []int) (*Routes, error) {
+	vcs := 1
+	if torus {
+		vcs = 2
+	}
+	return computeStrategy(g, name, vcs, dsts, func(g *topology.Graph) (func(dst int, emit func(Rule)) error, error) {
+		return dimensionOrderBuilder(g, dims, torus)
+	})
+}
+
+// dimensionOrderBuilder validates grid coordinates and precomputes the
+// coordinate index and per-dimension port lists once, returning the
+// per-destination rule build.
+func dimensionOrderBuilder(g *topology.Graph, dims int, torus bool) (func(dst int, emit func(Rule)) error, error) {
 	size := make([]int, dims)
 	for _, s := range g.Switches() {
 		c := g.Vertices[s].Coord
@@ -296,14 +335,9 @@ func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Rout
 			dimPorts[s] = dp
 		}
 	}
-	vcs := 1
-	if torus {
-		vcs = 2
-	}
-	r := newRoutes(g, name, vcs)
 	csr := g.CSR()
 
-	err := computePerDst(r, g, func(dst int, emit func(Rule)) error {
+	return func(dst int, emit func(Rule)) error {
 		D := g.HostSwitch(dst)
 		dc := g.Vertices[D].Coord
 		for _, s := range g.Switches() {
@@ -385,12 +419,7 @@ func dimensionOrder(g *topology.Graph, dims int, torus bool, name string) (*Rout
 				OutPort: out, NewTag: newTagEnter})
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sortRules(r)
-	return r, nil
+	}, nil
 }
 
 // dimensionPorts returns s's logical ports whose links travel along

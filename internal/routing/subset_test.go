@@ -1,0 +1,140 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// subsetCases pairs every DstComputer strategy with a topology it
+// routes, for the subset-vs-full equivalence sweep.
+func subsetCases() []struct {
+	name     string
+	strategy DstComputer
+	graph    *topology.Graph
+} {
+	return []struct {
+		name     string
+		strategy DstComputer
+		graph    *topology.Graph
+	}{
+		{"fattree", FatTreeDFS{}, topology.FatTree(4)},
+		{"dragonfly", DragonflyMinimal{}, topology.Dragonfly(4, 9, 2, 1)},
+		{"mesh2d", MeshXY{}, topology.Mesh2D(4, 4, 1)},
+		{"mesh3d", MeshXYZ{}, topology.Mesh3D(3, 3, 3, 1)},
+		{"torus2d", TorusClue{Dims: 2}, topology.Torus2D(4, 4, 1)},
+		{"torus3d", TorusClue{Dims: 3}, topology.Torus3D(3, 3, 3, 1)},
+		{"shortest-path", ShortestPath{}, topology.Line(6, 2)},
+	}
+}
+
+// TestComputeForMatchesSubset pins the DstComputer contract: for every
+// strategy, ComputeFor(g, subset) returns exactly the full Compute(g)
+// route set restricted to those destinations — same rules, same order.
+func TestComputeForMatchesSubset(t *testing.T) {
+	for _, tc := range subsetCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			full, err := tc.strategy.Compute(tc.graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := tc.graph.Hosts()
+			// Every third host, plus the last one, fed in scrambled
+			// order with a duplicate — ComputeFor must canonicalise.
+			var subset []int
+			for i := len(hosts) - 1; i >= 0; i -= 3 {
+				subset = append(subset, hosts[i])
+			}
+			subset = append(subset, subset[0])
+			sub, err := tc.strategy.ComputeFor(tc.graph, subset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub.Strategy != full.Strategy || sub.NumVCs != full.NumVCs {
+				t.Fatalf("metadata mismatch: %q/%d vs %q/%d",
+					sub.Strategy, sub.NumVCs, full.Strategy, full.NumVCs)
+			}
+			inSubset := map[int]bool{}
+			for _, d := range subset {
+				inSubset[d] = true
+			}
+			var want []Rule
+			for _, rule := range full.Rules {
+				if inSubset[rule.Dst] {
+					want = append(want, rule)
+				}
+			}
+			if len(sub.Rules) != len(want) {
+				t.Fatalf("ComputeFor: %d rules, want %d", len(sub.Rules), len(want))
+			}
+			for i := range want {
+				if sub.Rules[i] != want[i] {
+					t.Fatalf("rule %d: %+v, want %+v", i, sub.Rules[i], want[i])
+				}
+			}
+			// Subset routes must deliver between subset hosts.
+			for _, s := range subset {
+				for _, d := range subset {
+					if s == d {
+						continue
+					}
+					if _, err := sub.TracePath(s, d); err != nil {
+						t.Fatalf("trace %d->%d: %v", s, d, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestComputeForRejectsNonHosts pins the validation error: ComputeFor
+// with a switch vertex or an out-of-range ID fails loudly.
+func TestComputeForRejectsNonHosts(t *testing.T) {
+	g := topology.FatTree(4)
+	sw := g.Switches()[0]
+	cases := [][]int{{sw}, {-1}, {len(g.Vertices)}}
+	for _, bad := range cases {
+		if _, err := (FatTreeDFS{}).ComputeFor(g, bad); err == nil {
+			t.Errorf("ComputeFor(%v): want error, got nil", bad)
+		} else if !strings.Contains(err.Error(), "not a host") {
+			t.Errorf("ComputeFor(%v): error %q does not name the bad destination", bad, err)
+		}
+	}
+}
+
+// TestComputeForNilIsFull pins the nil-destinations convenience: a nil
+// subset computes the full route set.
+func TestComputeForNilIsFull(t *testing.T) {
+	g := topology.FatTree(4)
+	full, err := FatTreeDFS{}.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := FatTreeDFS{}.ComputeFor(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rules) != len(full.Rules) {
+		t.Fatalf("ComputeFor(nil): %d rules, want %d", len(all.Rules), len(full.Rules))
+	}
+}
+
+// TestForTopologyStrategiesAreDstComputers keeps every registered
+// Table III strategy inside the DstComputer contract — flowsim's
+// subset routing depends on it for all generated topologies.
+func TestForTopologyStrategiesAreDstComputers(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.FatTree(4),
+		topology.Dragonfly(4, 9, 2, 1),
+		topology.Mesh2D(3, 3, 1),
+		topology.Mesh3D(3, 3, 3, 1),
+		topology.Torus2D(4, 4, 1),
+		topology.Torus3D(3, 3, 3, 1),
+		topology.Line(4, 1),
+	} {
+		if _, ok := ForTopology(g).(DstComputer); !ok {
+			t.Errorf("ForTopology(%s) = %T is not a DstComputer", g.Name, ForTopology(g))
+		}
+	}
+}

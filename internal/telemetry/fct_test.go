@@ -72,6 +72,88 @@ func TestFCTFormat(t *testing.T) {
 	}
 }
 
+// TestFCTZeroCompleted: a schedule with no completions (and the empty
+// schedule) must produce a well-formed all-zero report — the flow-
+// fidelity differential harness divides by bucket percentiles, so
+// empty buckets have to stay identifiably empty (Count 0, zero
+// percentiles), never NaN or stale values.
+func TestFCTZeroCompleted(t *testing.T) {
+	flows := []netsim.Flow{
+		{Src: 0, Dst: 1, Bytes: 1024},
+		{Src: 1, Dst: 2, Bytes: 50 * 1024},
+		{Src: 2, Dst: 3, Bytes: 2 << 20},
+	}
+	for _, tc := range []struct {
+		name  string
+		flows []netsim.Flow
+		total int
+	}{
+		{"none-completed", flows, 3},
+		{"empty-schedule", nil, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := MeasureFCT(tc.flows, 10e9, 0, nil)
+			if rep.Total != tc.total || rep.Completed != 0 {
+				t.Fatalf("total/completed = %d/%d, want %d/0", rep.Total, rep.Completed, tc.total)
+			}
+			if len(rep.Buckets) != 4 {
+				t.Fatalf("%d buckets, want 4", len(rep.Buckets))
+			}
+			for i, b := range rep.Buckets {
+				if b.Count != 0 {
+					t.Fatalf("bucket %d counted %d flows with none completed", i, b.Count)
+				}
+				if b.P50 != 0 || b.P95 != 0 || b.P99 != 0 || b.P50FCT != 0 || b.P99FCT != 0 {
+					t.Fatalf("empty bucket %d has non-zero percentiles: %+v", i, b)
+				}
+			}
+			var buf bytes.Buffer
+			rep.Format(&buf)
+			out := buf.String()
+			if tc.total > 0 && !strings.Contains(out, "0/3 flows completed") {
+				t.Fatalf("format did not report the incomplete count:\n%s", out)
+			}
+			if strings.Contains(out, "NaN") {
+				t.Fatalf("format leaked NaN:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestFCTSingleFlowBuckets: one completed flow per bucket — every
+// percentile of a one-sample bucket is that sample, for slowdown and
+// raw FCT alike.
+func TestFCTSingleFlowBuckets(t *testing.T) {
+	base := netsim.Microsecond
+	flows := []netsim.Flow{
+		mkflow(1024, 2*netsim.Microsecond),
+		mkflow(50*1024, 100*netsim.Microsecond),
+		mkflow(512*1024, netsim.Millisecond),
+		mkflow(2<<20, 3*netsim.Millisecond),
+	}
+	rep := MeasureFCT(flows, 10e9, base, nil)
+	if rep.Completed != 4 {
+		t.Fatalf("completed %d, want 4", rep.Completed)
+	}
+	for i, b := range rep.Buckets {
+		if b.Count != 1 {
+			t.Fatalf("bucket %d count %d, want 1", i, b.Count)
+		}
+		want := flows[i].FCT()
+		if b.P50FCT != want || b.P99FCT != want {
+			t.Fatalf("bucket %d FCT p50/p99 = %v/%v, want both %v", i, b.P50FCT, b.P99FCT, want)
+		}
+		if b.P50 != b.P95 || b.P95 != b.P99 {
+			t.Fatalf("bucket %d slowdown percentiles differ on one sample: %+v", i, b)
+		}
+		ideal := base + netsim.Time(float64(flows[i].Bytes*8)/10e9*float64(netsim.Second))
+		wantSlow := float64(want) / float64(ideal)
+		if diff := b.P50 - wantSlow; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bucket %d slowdown %.6f, want %.6f", i, b.P50, wantSlow)
+		}
+	}
+}
+
 func TestNearestRank(t *testing.T) {
 	// n=100: p50 -> index 49, p99 -> index 98; n=1: everything index 0.
 	cases := []struct {

@@ -69,6 +69,14 @@
 //	res, err := sdt.Run(ctx, tb, sdt.Scenario{Topo: topo, Flows: fs.Flows})
 //	fct := sdt.MeasureFCT(fs.Flows, 10e9, 0, nil) // per-bucket p50/p95/p99
 //
+// Open-loop schedules can trade per-packet fidelity for scale:
+// Scenario{..., Fidelity: sdt.FidelityFlow} runs the same schedule
+// through a max-min fair-share fluid approximation whose cost grows
+// with the number of flows instead of bytes × hops, reaching fabrics
+// (a 65k-host fat-tree) the packet engine cannot touch. MeasureFCT
+// consumes the completions identically; the packet-vs-flow agreement
+// envelope is pinned by internal/flowsim's differential harness.
+//
 // A Scenario can also carry a FaultSpec — seeded, deterministic link
 // and switch failures (one-shot events or MTBF/MTTR flaps). Dead
 // elements drop traversing packets; the controller reroute notices
@@ -270,6 +278,24 @@ const (
 	ModeSDT         = core.SDT
 	ModeSimulator   = core.Simulator
 )
+
+// Fidelity selects how faithfully a run simulates the fabric: the
+// packet-level engine (the zero value) or the flow-level max-min
+// fair-share fluid approximation, whose cost scales with flow count
+// instead of bytes × hops. Flow fidelity covers open-loop flow
+// schedules on FullTestbed/Simulator runs; traces, faults,
+// reconfiguration, shards, and SDT mode reject it loudly.
+type Fidelity = core.Fidelity
+
+// Simulation fidelities.
+const (
+	FidelityPacket = core.Packet
+	FidelityFlow   = core.Flow
+)
+
+// WithFidelity overrides the scenario's simulation fidelity for one
+// Run or every job of a Sweep.
+var WithFidelity = core.WithFidelity
 
 // Testbed constructors.
 var (
