@@ -18,6 +18,7 @@
 //	sdtbench -exp shard-scale
 //	sdtbench -exp reconfig-sweep
 //	sdtbench -exp reconfig-under-load -reconfig torus
+//	sdtbench -exp cc-shootout -cc timely
 //	sdtbench -exp all -json > bench.json
 //
 // -list prints every registered scenario set with its one-line
@@ -39,6 +40,9 @@
 // -reconfig selects reconfig-under-load's transition target topology:
 // dragonfly (the default) or torus. reconfig-sweep ignores it — its
 // grid fixes the transition pairs.
+//
+// -cc restricts cc-shootout to one congestion-control policy (dcqcn,
+// timely, or pfabric); empty races all three.
 //
 // -json suppresses the human-readable tables and instead emits one
 // machine-readable JSON document with per-experiment wall-clock and
@@ -98,6 +102,7 @@ func main() {
 	nFaults := flag.Int("faults", 0, "faults-sweep link-failure count per cell (0 = the {1,2,4} grid)")
 	mtbf := flag.Float64("mtbf", 0, "faults-flap link MTBF in ms, MTTR = MTBF/4 (0 = the {1,2,4,8} ms grid)")
 	reconfigTarget := flag.String("reconfig", "", "reconfig-under-load transition target: dragonfly|torus (\"\" = dragonfly)")
+	cc := flag.String("cc", "", "cc-shootout congestion-control policy: "+strings.Join(netsim.CCPolicies(), "|")+" (\"\" = all)")
 	jsonOut := flag.Bool("json", false, "emit per-experiment timing/alloc results as JSON instead of tables")
 	list := flag.Bool("list", false, "list registered experiments with their descriptions and exit")
 	flag.Parse()
@@ -143,6 +148,7 @@ func main() {
 		Faults:   *nFaults,
 		MTBF:     netsim.Time(*mtbf * float64(netsim.Millisecond)),
 		Reconfig: *reconfigTarget,
+		CC:       *cc,
 	}
 
 	// -exp takes a comma-separated list: fig12,shard-scale runs both;

@@ -58,6 +58,9 @@ type Params struct {
 	// their networks (fig11, fig12, table2) ignore it, and runs the
 	// executor cannot shard fall back to serial automatically.
 	Shards int
+	// CC restricts cc-shootout to one congestion-control policy
+	// (netsim.CCPolicies; "" = all policies).
+	CC string
 }
 
 // Runner executes one registered scenario set, writing its formatted
@@ -95,6 +98,7 @@ var (
 	FieldMTBF     = Field{"mtbf_ms", "float64", "0", "link MTBF in ms, MTTR = MTBF/4 (0 = the {1,2,4,8} ms grid)"}
 	FieldReconfig = Field{"reconfig", "string", "dragonfly", "transition target topology: dragonfly|torus"}
 	FieldShards   = Field{"shards", "int", "0", "intra-run shard engines per simulation (0/1 = serial)"}
+	FieldCC       = Field{"cc", "string", "", "congestion-control policy: dcqcn|timely|pfabric (empty = all)"}
 )
 
 // Entry is one registered scenario set.

@@ -48,6 +48,7 @@ type JobSpec struct {
 	MTBFMs   float64 `json:"mtbf_ms,omitempty"`
 	Reconfig string  `json:"reconfig,omitempty"`
 	Shards   int     `json:"shards,omitempty"`
+	CC       string  `json:"cc,omitempty"`
 }
 
 // specHashDomain versions the canonical encoding: bump it if the
@@ -71,6 +72,17 @@ func (s JobSpec) Validate() error {
 	if s.DurMs < 0 || s.MTBFMs < 0 || s.Load < 0 || s.Load > 1 {
 		return fmt.Errorf("spec: dur_ms/mtbf_ms must be >= 0 and load in [0, 1]")
 	}
+	if s.CC != "" {
+		ok := false
+		for _, p := range netsim.CCPolicies() {
+			if s.CC == p {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("spec: unknown cc policy %q", s.CC)
+		}
+	}
 	return nil
 }
 
@@ -90,6 +102,7 @@ func (s JobSpec) Params() Params {
 		MTBF:     netsim.Time(s.MTBFMs * float64(netsim.Millisecond)),
 		Reconfig: s.Reconfig,
 		Shards:   s.Shards,
+		CC:       s.CC,
 	}
 }
 

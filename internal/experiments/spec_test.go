@@ -83,6 +83,7 @@ func TestSpecHashDistinguishesResults(t *testing.T) {
 		"scenario": func(s *JobSpec) { s.Scenario = "loadgen-incast" },
 		"load":     func(s *JobSpec) { s.Load = 0.5 },
 		"dur":      func(s *JobSpec) { s.DurMs = 50 },
+		"cc":       func(s *JobSpec) { s.CC = "timely" },
 	} {
 		s := base
 		mut(&s)
@@ -120,6 +121,7 @@ func TestSpecValidate(t *testing.T) {
 		"unknown":  {Scenario: "no-such-set"},
 		"negative": {Scenario: "fig12", Reps: -1},
 		"load>1":   {Scenario: "loadgen-incast", Load: 1.5},
+		"bad cc":   {Scenario: "cc-shootout", CC: "bbr"},
 	} {
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s spec accepted", name)
@@ -145,7 +147,7 @@ func TestSchemaRegistered(t *testing.T) {
 	canon := map[string]Field{}
 	for _, f := range []Field{FieldRanks, FieldReps, FieldBytes, FieldZoo, FieldDur,
 		FieldWorkers, FieldSeed, FieldFlows, FieldLoad, FieldFaults, FieldMTBF,
-		FieldReconfig, FieldShards} {
+		FieldReconfig, FieldShards, FieldCC} {
 		canon[f.Name] = f
 	}
 	for _, e := range All() {

@@ -1,0 +1,338 @@
+package netsim
+
+// Pluggable congestion control for the RoCE host plane. Each queue
+// pair owns one ccPolicy instance that decides the pacing rate from
+// the signals the fabric feeds back — ECN echoes (CNPs), delay echoes
+// (acks carrying the send stamp), and timer ticks. The policies:
+//
+//   - dcqcnCC:    the DCQCN rate law (Zhu et al., SIGCOMM'15) that used
+//     to be hard-coded in roceQP — alpha-EWMA multiplicative
+//     decrease on CNP, timed additive increase toward line rate.
+//   - timelyCC:   delay-based control in the style of TIMELY (Mittal et
+//     al., SIGCOMM'15): the receiver acks every data packet
+//     echoing its send timestamp, and the sender adjusts rate
+//     off the RTT gradient.
+//   - lineRateCC: no rate adaptation (legacy DCQCN-off behaviour, and
+//     the rate side of pFabric, whose congestion response is
+//     size-priority scheduling — see sizePrioClass).
+//
+// The rate laws proper (dcqcnState.increase/decrease, timelyCC.sample)
+// are pure state-machine steps with no engine access, so unit tests
+// and the FuzzCCPolicy target drive them directly.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Selectable congestion-control policy names (Config.CC).
+const (
+	// CCDCQCN is ECN-driven DCQCN (requires ECN marking to act).
+	CCDCQCN = "dcqcn"
+	// CCTimely is delay-based CC off per-packet RTT echoes.
+	CCTimely = "timely"
+	// CCPFabric is size-aware priority scheduling at line rate.
+	CCPFabric = "pfabric"
+)
+
+// CCPolicies lists the selectable congestion-control policies.
+func CCPolicies() []string { return []string{CCDCQCN, CCTimely, CCPFabric} }
+
+// ccKind is the resolved policy of one fabric.
+type ccKind int
+
+const (
+	ccNone ccKind = iota
+	ccDCQCN
+	ccTimely
+	ccPFabric
+)
+
+// ccKindOf resolves Config.CC, deferring to the legacy DCQCN flag when
+// the string knob is unset so existing configurations keep their exact
+// behaviour.
+func ccKindOf(cfg *Config) (ccKind, error) {
+	switch cfg.CC {
+	case "":
+		if cfg.DCQCN {
+			return ccDCQCN, nil
+		}
+		return ccNone, nil
+	case CCDCQCN:
+		return ccDCQCN, nil
+	case CCTimely:
+		return ccTimely, nil
+	case CCPFabric:
+		return ccPFabric, nil
+	}
+	return ccNone, fmt.Errorf("netsim: unknown congestion-control policy %q (valid: %s)",
+		cfg.CC, strings.Join(CCPolicies(), ", "))
+}
+
+// ccPolicy is the per-QP congestion-control seam. The QP calls Wake
+// before reading Rate for an emission (so parked timer state can catch
+// up), Sent after scheduling one, and routes fabric signals to CNP /
+// Ack / Tick. Implementations may schedule evQPTick events on q.
+type ccPolicy interface {
+	// Wake runs when the QP is about to emit after possible idleness.
+	Wake(q *roceQP, now Time)
+	// Rate returns the current pacing rate in bits/s.
+	Rate() float64
+	// Sent runs after each data-packet emission is scheduled.
+	Sent(q *roceQP, now Time)
+	// CNP handles an ECN congestion-notification packet.
+	CNP(q *roceQP, now Time)
+	// Ack handles a delay echo; rtt is the measured send→ack latency.
+	Ack(q *roceQP, now Time, rtt Time)
+	// Tick handles the policy's evQPTick timer event.
+	Tick(q *roceQP, now Time)
+}
+
+// newQPCC builds the fabric's configured policy for one QP.
+func (n *Network) newQPCC() ccPolicy {
+	cfg := &n.Cfg
+	switch n.cc {
+	case ccDCQCN:
+		return &dcqcnCC{dcqcnState: newDCQCNState(cfg), period: cfg.DCQCNTimer}
+	case ccTimely:
+		return newTimelyCC(cfg)
+	default:
+		return lineRateCC{line: cfg.LinkBps}
+	}
+}
+
+// lineRateCC paces at line rate and ignores every signal: the policy
+// for CC off, and for pFabric (rate stays at line; the congestion
+// response is the strict-priority scheduling of size-stamped classes).
+type lineRateCC struct{ line float64 }
+
+func (c lineRateCC) Wake(*roceQP, Time)      {}
+func (c lineRateCC) Rate() float64           { return c.line }
+func (c lineRateCC) Sent(*roceQP, Time)      {}
+func (c lineRateCC) CNP(*roceQP, Time)       {}
+func (c lineRateCC) Ack(*roceQP, Time, Time) {}
+func (c lineRateCC) Tick(*roceQP, Time)      {}
+
+// dcqcnState is the pure DCQCN rate law: current rate, the target the
+// increase steps recover toward, and the alpha congestion estimate.
+type dcqcnState struct {
+	line   float64 // link rate, the cap
+	gain   float64 // alpha EWMA gain g
+	ai     float64 // additive-increase step, bits/s
+	rate   float64
+	target float64
+	alpha  float64
+}
+
+func newDCQCNState(cfg *Config) dcqcnState {
+	return dcqcnState{
+		line: cfg.LinkBps, gain: cfg.DCQCNGain, ai: cfg.DCQCNAIRate,
+		rate: cfg.LinkBps, target: cfg.LinkBps, alpha: 1,
+	}
+}
+
+// decrease applies the CNP reaction: bump alpha toward 1, remember the
+// pre-cut rate as the recovery target, cut multiplicatively, and floor
+// at 1% of line so a flow can always probe its way back.
+func (s *dcqcnState) decrease() {
+	s.alpha = (1-s.gain)*s.alpha + s.gain
+	s.target = s.rate
+	s.rate *= 1 - s.alpha/2
+	if min := s.line / 100; s.rate < min {
+		s.rate = min
+	}
+}
+
+// increase applies one rate-increase tick: additive target growth
+// clamped at line, rate averaged halfway toward it, alpha decayed.
+func (s *dcqcnState) increase() {
+	s.target += s.ai
+	if s.target > s.line {
+		s.target = s.line
+	}
+	s.rate = (s.rate + s.target) / 2
+	s.alpha *= 1 - s.gain
+}
+
+// recovered reports whether an idle QP's timer may disarm: rate is
+// back within 1% of line.
+func (s *dcqcnState) recovered() bool { return s.rate >= s.line*0.99 }
+
+// dcqcnCC runs the DCQCN law on the engine's evQPTick timer, with the
+// idle fix: when the QP has nothing to send, the timer parks instead
+// of self-rescheduling every period until recovery (which burned one
+// event per 55µs per idle QP). Parked state records the absolute next
+// tick time; Wake replays the elided ticks on the next emission or
+// CNP, so the rate trajectory is exactly what the real events would
+// have produced.
+type dcqcnCC struct {
+	dcqcnState
+	period  Time
+	timerOn bool
+	// parked: timerOn is logically true but no event is scheduled;
+	// nextTick is the absolute time the next virtual tick fires.
+	parked   bool
+	nextTick Time
+}
+
+func (c *dcqcnCC) Rate() float64 { return c.rate }
+
+func (c *dcqcnCC) Wake(q *roceQP, now Time) { c.catchUp(q, now) }
+
+// catchUp replays ticks elided while parked. Ticks strictly before now
+// apply immediately (a tick at exactly now would, as a real event,
+// fire after the currently executing handler, so it stays pending); if
+// the QP is still below recovery the real timer re-arms at the
+// original phase, otherwise it disarms just as a real tick would have.
+func (c *dcqcnCC) catchUp(q *roceQP, now Time) {
+	if !c.parked {
+		return
+	}
+	for c.nextTick < now {
+		c.increase()
+		if c.recovered() {
+			c.parked = false
+			c.timerOn = false
+			return
+		}
+		c.nextTick += c.period
+	}
+	c.parked = false
+	q.h.net.Sim.Schedule(c.nextTick, q, engine.Event{Kind: evQPTick})
+}
+
+func (c *dcqcnCC) Sent(q *roceQP, now Time) { c.arm(q) }
+
+func (c *dcqcnCC) arm(q *roceQP) {
+	if c.timerOn {
+		return
+	}
+	c.timerOn = true
+	q.h.net.Sim.ScheduleAfter(c.period, q, engine.Event{Kind: evQPTick})
+}
+
+func (c *dcqcnCC) CNP(q *roceQP, now Time) {
+	c.catchUp(q, now)
+	c.decrease()
+	c.arm(q)
+}
+
+func (c *dcqcnCC) Ack(*roceQP, Time, Time) {}
+
+func (c *dcqcnCC) Tick(q *roceQP, now Time) {
+	c.increase()
+	if len(q.msgs) == 0 {
+		if c.recovered() {
+			c.timerOn = false
+			return
+		}
+		// Idle but still below line: park instead of rescheduling —
+		// Wake replays the ticks the engine never has to run.
+		c.parked = true
+		c.nextTick = now + c.period
+		return
+	}
+	q.h.net.Sim.ScheduleAfter(c.period, q, engine.Event{Kind: evQPTick})
+}
+
+// timelyCC is delay-based congestion control in the style of TIMELY:
+// the receiver echoes every data packet's send stamp on a control-class
+// ack, and the sender steers rate off the RTT and its gradient —
+// additive increase below TLow, multiplicative decrease above THigh,
+// and gradient-proportional decrease (or hyperactive increase after a
+// run of negative gradients) in between.
+type timelyCC struct {
+	line   float64
+	tLow   Time
+	tHigh  Time
+	add    float64 // additive step, bits/s
+	beta   float64 // multiplicative decrease factor
+	ewma   float64 // RTT-gradient EWMA weight
+	minRTT Time    // gradient normalisation denominator
+
+	rate    float64
+	prevRTT Time
+	rttDiff float64
+	negRun  int // consecutive non-positive gradients (HAI trigger)
+}
+
+func newTimelyCC(cfg *Config) *timelyCC {
+	return &timelyCC{
+		line: cfg.LinkBps,
+		tLow: cfg.TimelyTLow, tHigh: cfg.TimelyTHigh,
+		add: cfg.TimelyAddBps, beta: cfg.TimelyBeta,
+		ewma: cfg.TimelyAlpha, minRTT: cfg.TimelyMinRTT,
+		rate: cfg.LinkBps,
+	}
+}
+
+// sample applies the gradient law to one RTT measurement. Pure (no
+// engine access): the boundary tests and FuzzCCPolicy drive it with
+// arbitrary RTT sequences.
+func (c *timelyCC) sample(rtt Time) {
+	if rtt <= 0 {
+		return
+	}
+	if c.prevRTT == 0 {
+		c.prevRTT = rtt
+		return
+	}
+	diff := float64(rtt - c.prevRTT)
+	c.prevRTT = rtt
+	c.rttDiff = (1-c.ewma)*c.rttDiff + c.ewma*diff
+	grad := c.rttDiff / float64(c.minRTT)
+	switch {
+	case rtt < c.tLow:
+		c.negRun = 0
+		c.rate += c.add
+	case rtt > c.tHigh:
+		c.negRun = 0
+		c.rate *= 1 - c.beta*(1-float64(c.tHigh)/float64(rtt))
+	case grad <= 0:
+		c.negRun++
+		step := c.add
+		if c.negRun >= 5 {
+			step = 5 * c.add // hyperactive increase
+		}
+		c.rate += step
+	default:
+		c.negRun = 0
+		if grad > 1 {
+			grad = 1
+		}
+		c.rate *= 1 - c.beta*grad
+	}
+	if c.rate > c.line {
+		c.rate = c.line
+	}
+	if min := c.line / 100; c.rate < min {
+		c.rate = min
+	}
+}
+
+func (c *timelyCC) Wake(*roceQP, Time) {}
+func (c *timelyCC) Rate() float64      { return c.rate }
+func (c *timelyCC) Sent(*roceQP, Time) {}
+func (c *timelyCC) CNP(*roceQP, Time)  {}
+func (c *timelyCC) Ack(q *roceQP, now Time, rtt Time) {
+	c.sample(rtt)
+}
+func (c *timelyCC) Tick(*roceQP, Time) {}
+
+// sizePrioClass maps a message's remaining bytes (current packet
+// included) to a PFC data class, pFabric-style: the less left to
+// send, the higher the class, so strict-priority dequeue approximates
+// shortest-remaining-first. Buckets are powers of 4 of the MTU across
+// the data classes (ctrlClass-1 down to 0); control traffic keeps its
+// own unpaused top class. This replaces VC-tag class separation, so it
+// suits up/down-routed fabrics (fat-tree) whose deadlock freedom does
+// not rely on VC transitions.
+func sizePrioClass(remaining, mtu int) int {
+	cls := ctrlClass - 1
+	for thresh := mtu; cls > 0 && remaining > thresh; cls-- {
+		thresh *= 4
+	}
+	return cls
+}

@@ -35,6 +35,12 @@ type Config struct {
 	ECNKmax int
 	ECNPmax float64
 
+	// CC selects the RoCE congestion-control policy: CCDCQCN,
+	// CCTimely (delay-based), or CCPFabric (size-priority scheduling
+	// at line rate). Empty defers to the legacy DCQCN flag below, so
+	// existing configurations keep their exact behaviour.
+	CC string
+
 	// DCQCN end-to-end congestion control for RoCE flows.
 	DCQCN bool
 	// DCQCNGain is the alpha EWMA gain g.
@@ -46,6 +52,18 @@ type Config struct {
 	// CNPInterval is the minimum gap between CNPs per flow at the
 	// notification point.
 	CNPInterval Time
+
+	// Timely (CC = CCTimely) delay-based control parameters: below
+	// TimelyTLow RTT the rate grows additively by TimelyAddBps, above
+	// TimelyTHigh it decreases multiplicatively by TimelyBeta, and in
+	// between the normalised RTT gradient (EWMA weight TimelyAlpha,
+	// denominator TimelyMinRTT) steers it.
+	TimelyTLow   Time
+	TimelyTHigh  Time
+	TimelyAddBps float64
+	TimelyBeta   float64
+	TimelyAlpha  float64
+	TimelyMinRTT Time
 
 	// CrossbarBps is the internal crossbar bandwidth of one physical
 	// switch (shared by all sub-switches under SDT).
@@ -89,6 +107,17 @@ func DefaultConfig() Config {
 		DCQCNAIRate: 40e6,
 		DCQCNTimer:  55 * Microsecond,
 		CNPInterval: 50 * Microsecond,
+
+		// Timely thresholds sit just above the fabric's unloaded RTT
+		// (a few µs) and below the RTT a full PFC-Xoff queue adds
+		// (~64 µs at 10 Gbps), so the gradient zone covers the
+		// operating range PFC would otherwise police.
+		TimelyTLow:   25 * Microsecond,
+		TimelyTHigh:  250 * Microsecond,
+		TimelyAddBps: 50e6,
+		TimelyBeta:   0.8,
+		TimelyAlpha:  0.875,
+		TimelyMinRTT: 10 * Microsecond,
 
 		CrossbarBps:    640e9,
 		SDTPerHopExtra: 8 * Nanosecond,

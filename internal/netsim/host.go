@@ -49,17 +49,15 @@ type roceMsg struct {
 	sent  int
 }
 
-// roceQP is a per-destination queue pair with DCQCN rate control.
+// roceQP is a per-destination queue pair; its ccPolicy paces emission
+// (DCQCN, Timely, line rate — see cc.go).
 type roceQP struct {
 	h          *Host
 	dst        int
-	rate       float64 // current rate, bits/s
-	target     float64
-	alpha      float64
+	cc         ccPolicy
 	msgs       []*roceMsg
 	pumping    bool
 	nextSendAt Time
-	timerOn    bool
 }
 
 // roceEngine manages QPs and message reassembly for one host.
@@ -69,8 +67,9 @@ type roceEngine struct {
 	qpList []*roceQP // creation order, for deterministic kicks
 	// reassembly: (src, msgID) -> bytes still missing.
 	rx map[rxKey]*rxState
-	// np: last CNP time per source (congestion notification point).
-	np map[int]Time
+	// np: last CNP time per flow (congestion notification point).
+	// Entries are dropped when the flow's message completes.
+	np map[int64]Time
 	// nextMsg allocates message IDs.
 	nextMsg int64
 }
@@ -87,45 +86,54 @@ type rxState struct {
 }
 
 func newRoceEngine(h *Host) *roceEngine {
-	return &roceEngine{h: h, qps: map[int]*roceQP{}, rx: map[rxKey]*rxState{}, np: map[int]Time{}}
+	return &roceEngine{h: h, qps: map[int]*roceQP{}, rx: map[rxKey]*rxState{}, np: map[int64]Time{}}
 }
 
 func (e *roceEngine) qp(dst int) *roceQP {
 	if q, ok := e.qps[dst]; ok {
 		return q
 	}
-	line := e.h.net.Cfg.LinkBps
-	q := &roceQP{h: e.h, dst: dst, rate: line, target: line, alpha: 1}
+	q := &roceQP{h: e.h, dst: dst, cc: e.h.net.newQPCC()}
 	e.qps[dst] = q
 	e.qpList = append(e.qpList, q)
 	return q
+}
+
+// roceFlowID packs (source vertex, per-host message counter) into one
+// fabric-unique flow ID: the vertex in the low 32 bits — wide enough
+// for any in-memory topology (the k=64 fat-tree's ~65k vertices
+// overflowed the 16-bit packing this replaces) — and the counter
+// above, staying clear of bit 62, which namespaces TCP flow IDs.
+func roceFlowID(vertex int, msg int64) int64 {
+	return msg<<32 | int64(uint32(vertex))
 }
 
 // Send queues an RDMA message toward dst. Message boundaries are
 // preserved; completion is signalled at the receiver's mailbox.
 func (e *roceEngine) Send(dst, tag, bytes int) {
 	e.nextMsg++
-	m := &roceMsg{id: e.nextMsg<<16 | int64(e.h.vertex&0xffff), dst: dst, tag: tag, bytes: bytes}
+	m := &roceMsg{id: roceFlowID(e.h.vertex, e.nextMsg), dst: dst, tag: tag, bytes: bytes}
 	q := e.qp(dst)
 	q.msgs = append(q.msgs, m)
 	q.pump()
 }
 
-// pump emits packets of the head message, paced by the DCQCN rate and
-// self-clocked against the NIC queue: while more than two packets wait
-// on the wire queue, emission pauses until the NIC drains (nicDrained
-// kicks it). This enforces the rate at the wire even across PFC
-// pauses.
+// pump emits packets of the head message, paced by the CC policy's
+// rate and self-clocked against the NIC queue: while more than two
+// packets wait on the wire's data queues, emission pauses until the
+// NIC drains (nicDrained kicks it). This enforces the rate at the
+// wire even across PFC pauses.
 func (q *roceQP) pump() {
 	if q.pumping || len(q.msgs) == 0 {
 		return
 	}
 	n := q.h.net
-	if q.h.out.queues[0].bytes > 2*(n.Cfg.MTU+n.Cfg.HeaderBytes) {
+	if q.h.out.queuedDataBytes() > 2*(n.Cfg.MTU+n.Cfg.HeaderBytes) {
 		return // NIC backlogged; resume on drain
 	}
 	q.pumping = true
 	now := n.Sim.Now()
+	q.cc.Wake(q, now)
 	at := now + n.Cfg.HostLatency
 	if q.nextSendAt > at {
 		at = q.nextSendAt
@@ -145,20 +153,26 @@ func (q *roceQP) pump() {
 		ID: n.pktID(), Kind: Data, Src: q.h.vertex, Dst: m.dst,
 		Size: size, Len: payload, Flow: m.id, Seq: int64(m.sent),
 		Tag: 0, Prio: 0, AppTag: m.tag, Last: last, MsgBytes: m.bytes,
+		TS: at,
+	}
+	if n.cc == ccPFabric {
+		// pFabric: stamp the wire class from the bytes still unsent
+		// (this packet included) — the less left, the higher the
+		// class; inject and the switches keep the stamp.
+		pkt.Prio = sizePrioClass(m.bytes-m.sent, n.Cfg.MTU)
 	}
 	m.sent += payload
 	if last {
 		q.msgs = q.msgs[1:]
 	}
-	gap := serTime(size, q.rate)
+	gap := serTime(size, q.cc.Rate())
 	n.Sim.Schedule(at, q, engine.Event{Kind: evQPSend, Ptr: pkt, A: int64(gap)})
-	q.armTimer()
+	q.cc.Sent(q, now)
 }
 
-// OnEvent dispatches QP events: paced packet injection and the DCQCN
-// rate-increase timer.
+// OnEvent dispatches QP events: paced packet injection and the CC
+// policy's timer.
 func (q *roceQP) OnEvent(now Time, ev engine.Event) {
-	n := q.h.net
 	switch ev.Kind {
 	case evQPSend:
 		q.h.inject(ev.Ptr.(*Packet))
@@ -166,44 +180,18 @@ func (q *roceQP) OnEvent(now Time, ev engine.Event) {
 		q.pumping = false
 		q.pump()
 	case evQPTick:
-		// Additive increase toward line rate, alpha decay.
-		line := n.Cfg.LinkBps
-		q.target += n.Cfg.DCQCNAIRate
-		if q.target > line {
-			q.target = line
-		}
-		q.rate = (q.rate + q.target) / 2
-		q.alpha *= 1 - n.Cfg.DCQCNGain
-		if len(q.msgs) == 0 && q.rate >= line*0.99 {
-			q.timerOn = false
-			return
-		}
-		n.Sim.ScheduleAfter(n.Cfg.DCQCNTimer, q, engine.Event{Kind: evQPTick})
+		q.cc.Tick(q, now)
 	}
 }
 
-// armTimer starts the DCQCN rate-increase timer if congestion control
-// is enabled.
-func (q *roceQP) armTimer() {
-	n := q.h.net
-	if !n.Cfg.DCQCN || q.timerOn {
-		return
-	}
-	q.timerOn = true
-	n.Sim.ScheduleAfter(n.Cfg.DCQCNTimer, q, engine.Event{Kind: evQPTick})
-}
+// onCNP routes a congestion notification to the CC policy.
+func (q *roceQP) onCNP() { q.cc.CNP(q, q.h.net.Sim.Now()) }
 
-// onCNP applies the DCQCN rate-decrease law.
-func (q *roceQP) onCNP() {
-	n := q.h.net
-	g := n.Cfg.DCQCNGain
-	q.alpha = (1-g)*q.alpha + g
-	q.target = q.rate
-	q.rate *= 1 - q.alpha/2
-	if min := n.Cfg.LinkBps / 100; q.rate < min {
-		q.rate = min
-	}
-	q.armTimer()
+// onAck routes a delay echo to the CC policy: the ack carries the data
+// packet's send stamp, so now minus the stamp is the RTT sample.
+func (q *roceQP) onAck(pkt *Packet) {
+	now := q.h.net.Sim.Now()
+	q.cc.Ack(q, now, now-pkt.TS)
 }
 
 // Send posts an RDMA message from this host toward host vertex dst
@@ -219,9 +207,13 @@ func (h *Host) Recv(src, tag int, cont func()) {
 // Vertex returns the topology vertex ID of this host.
 func (h *Host) Vertex() int { return h.vertex }
 
-// inject hands a packet to the host NIC egress queue.
+// inject hands a packet to the host NIC egress queue. Under pFabric a
+// data packet keeps the size-priority class the QP stamped; every
+// other packet derives its class from its VC tag as usual.
 func (h *Host) inject(pkt *Packet) {
-	pkt.Prio = pfcClass(pkt)
+	if h.net.cc != ccPFabric || pkt.Kind != Data {
+		pkt.Prio = pfcClass(pkt)
+	}
 	pkt.arrClass = pkt.Prio // NIC-originated: arrival class = wire class
 	h.out.queues[pkt.Prio].push(pkt)
 	h.net.tryTransmit(h.out)
@@ -255,14 +247,19 @@ func (h *Host) receive(pkt *Packet) {
 	case Ack:
 		if tc, ok := h.tcp[pkt.Flow]; ok {
 			tc.onAck(pkt)
+			return
 		}
+		// RoCE delay-CC ack: the echoed stamp yields the RTT sample.
+		h.roce.qp(pkt.Src).onAck(pkt)
 	case Cnp:
 		h.roce.qp(pkt.Src).onCNP()
 	}
 }
 
-// roceData reassembles RDMA messages and runs the DCQCN notification
-// point (CNP on ECN-marked arrivals, rate-limited per source).
+// roceData reassembles RDMA messages and runs the receiver half of
+// the CC policy: the DCQCN notification point (CNP on ECN-marked
+// arrivals, rate-limited per flow) or the Timely delay echo (an ack
+// per data packet carrying the send stamp back to the source).
 func (h *Host) roceData(pkt *Packet) {
 	n := h.net
 	e := h.roce
@@ -271,16 +268,29 @@ func (h *Host) roceData(pkt *Packet) {
 	if n.OnDeliver != nil {
 		n.OnDeliver(n.Sim.Now())
 	}
-	if pkt.ECN && n.Cfg.DCQCN {
-		if last, ok := e.np[pkt.Src]; !ok || n.Sim.Now()-last >= n.Cfg.CNPInterval {
-			e.np[pkt.Src] = n.Sim.Now()
-			cnp := allocPacket()
-			*cnp = Packet{
-				ID: n.pktID(), Kind: Cnp, Src: h.vertex, Dst: pkt.Src,
-				Size: 64, Prio: 1,
+	switch n.cc {
+	case ccDCQCN:
+		if pkt.ECN {
+			// Throttle per flow (CNPInterval documents exactly this),
+			// so concurrent flows from one source each keep their own
+			// congestion signal instead of starving each other's.
+			if last, ok := e.np[pkt.Flow]; !ok || n.Sim.Now()-last >= n.Cfg.CNPInterval {
+				e.np[pkt.Flow] = n.Sim.Now()
+				cnp := allocPacket()
+				*cnp = Packet{
+					ID: n.pktID(), Kind: Cnp, Src: h.vertex, Dst: pkt.Src,
+					Size: 64, Prio: 1,
+				}
+				h.inject(cnp)
 			}
-			h.inject(cnp)
 		}
+	case ccTimely:
+		ack := allocPacket()
+		*ack = Packet{
+			ID: n.pktID(), Kind: Ack, Src: h.vertex, Dst: pkt.Src,
+			Size: 64, Flow: pkt.Flow, TS: pkt.TS,
+		}
+		h.inject(ack)
 	}
 	key := rxKey{pkt.Src, pkt.Flow}
 	st, ok := e.rx[key]
@@ -295,6 +305,7 @@ func (h *Host) roceData(pkt *Packet) {
 	}
 	if st.total >= 0 && st.got >= st.total {
 		delete(e.rx, key)
+		delete(e.np, pkt.Flow) // release the per-flow CNP throttle slot
 		// NIC/driver delivery latency before the application sees it.
 		n.Sim.ScheduleAfter(n.Cfg.HostLatency, h, engine.Event{
 			Kind: evDeliver, A: int64(pkt.Src), B: int64(st.tag),

@@ -45,6 +45,10 @@ type Packet struct {
 	Last     bool
 	MsgBytes int
 
+	// TS is the send timestamp stamped at QP emission and echoed back
+	// on delay-CC acks; the sender derives its RTT sample from it.
+	TS Time
+
 	inPort   int // bookkeeping: ingress port at current switch
 	arrClass int // bookkeeping: wire class the packet arrived with
 	AckSeq   int64
@@ -222,6 +226,17 @@ func (o *OutPort) queuedBytes() int {
 	return n
 }
 
+// queuedDataBytes returns queued bytes across the pausable data
+// classes only (control excluded) — the NIC backlog the QP self-clock
+// watches, whichever class size-priority stamping routed packets to.
+func (o *OutPort) queuedDataBytes() int {
+	n := 0
+	for i := 0; i < ctrlClass; i++ {
+		n += o.queues[i].bytes
+	}
+	return n
+}
+
 // SimSwitch is one logical switch in the simulated fabric.
 type SimSwitch struct {
 	vertex   int // topology vertex ID
@@ -360,6 +375,10 @@ type Network struct {
 	// Nil outside fault runs.
 	OnDeliver func(now Time)
 
+	// cc is the resolved congestion-control policy of this fabric
+	// (identical on every shard of a sharded fabric).
+	cc ccKind
+
 	// shard is this network's index within a sharded fabric (0 in a
 	// serial fabric). A sharded fabric is K Networks sharing the same
 	// device arrays: each device belongs to exactly one shard and all
@@ -448,6 +467,10 @@ func newFabric(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v i
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	cc, err := ccKindOf(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("netsim: fabric needs k >= 1 shards, got %d", k)
 	}
@@ -473,6 +496,7 @@ func newFabric(g *topology.Graph, fwd Forwarder, cfg Config, crossbarOf func(v i
 			Topo:     g,
 			Cfg:      cfg,
 			Fwd:      fwd,
+			cc:       cc,
 			shard:    i,
 			rng:      rand.New(rand.NewSource(shardSeed(cfg.Seed, i))),
 			switches: switches,

@@ -57,7 +57,7 @@ const (
 	evSwEnqueue // Ptr=*Packet, A=out port, B=inPort<<4|arrival class
 	// roceQP events.
 	evQPSend // Ptr=*Packet, A=pacing gap (Time)
-	evQPTick // DCQCN rate-increase timer
+	evQPTick // CC policy timer (DCQCN rate increase)
 	// Host events.
 	evDeliver // A=src vertex, B=app tag
 	// TCPConn events.

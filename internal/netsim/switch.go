@@ -16,8 +16,11 @@ func (s *SimSwitch) receive(pkt *Packet) {
 	}
 	// The PFC class the packet arrived with (before any VC rewrite):
 	// this is what the upstream transmitted on and what a pause must
-	// name.
+	// name. Under pFabric, data travels on its stamped size class.
 	arrCls := pfcClass(pkt)
+	if n.cc == ccPFabric && pkt.Kind == Data {
+		arrCls = pkt.Prio
+	}
 	pkt.Tag = newTag
 	d := n.Cfg.SwitchLatency + fwdDelay + s.crossbar.delay(n.Sim.Now(), pkt.Size)
 	n.Sim.ScheduleAfter(d, s, engine.Event{
@@ -47,8 +50,13 @@ func isData(class int) bool { return class < ctrlClass }
 func (s *SimSwitch) enqueue(o *OutPort, inPort, arrCls int, pkt *Packet) {
 	n := s.net
 	// The egress traffic class follows the packet's (possibly
-	// rewritten) VC; ingress accounting keeps the arrival class.
-	pkt.Prio = pfcClass(pkt)
+	// rewritten) VC; ingress accounting keeps the arrival class. Under
+	// pFabric the sender's size-priority stamp IS the class and rides
+	// the packet end to end, so strict-priority dequeue approximates
+	// shortest-remaining-first at every hop.
+	if n.cc != ccPFabric || pkt.Kind != Data {
+		pkt.Prio = pfcClass(pkt)
+	}
 	pkt.arrClass = arrCls
 	if !n.Cfg.PFC && isData(pkt.Prio) && o.queuedBytes()+pkt.Size > n.Cfg.QueueCap {
 		o.Drops++

@@ -333,6 +333,17 @@ const (
 // DefaultSimConfig is the paper-calibrated configuration.
 var DefaultSimConfig = netsim.DefaultConfig
 
+// Congestion-control policy names for SimConfig.CC (empty keeps the
+// legacy DCQCN-flag behaviour).
+const (
+	CCDCQCN   = netsim.CCDCQCN
+	CCTimely  = netsim.CCTimely
+	CCPFabric = netsim.CCPFabric
+)
+
+// CCPolicies lists the selectable congestion-control policies.
+var CCPolicies = netsim.CCPolicies
+
 // Trace is a replayable MPI-style application.
 type Trace = workload.Trace
 
